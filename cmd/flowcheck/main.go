@@ -1,0 +1,359 @@
+// Command flowcheck analyzes one MiniC program: it runs the program on the
+// given secret/public inputs under the quantitative information-flow
+// analysis and reports the measured flow bound, the minimum cut, and
+// optionally the flow graph in DOT form (paper §2–§6).
+//
+// Usage:
+//
+//	flowcheck run prog.mc -secret-file key.bin [-public-file in.bin] [flags]
+//	flowcheck run -guest sshauth -secret "..." [flags]
+//	flowcheck check prog.mc -secret-file key.bin -cut 12,34 [-budget 128]
+//	flowcheck lockstep prog.mc -secret-file key.bin [-dummy "..."]
+//	flowcheck infer prog.mc
+//	flowcheck disasm prog.mc
+//	flowcheck guests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flowcheck/internal/check"
+	"flowcheck/internal/core"
+	"flowcheck/internal/guest"
+	"flowcheck/internal/infer"
+	"flowcheck/internal/lang"
+	"flowcheck/internal/lang/parser"
+	"flowcheck/internal/maxflow"
+	"flowcheck/internal/taint"
+	"flowcheck/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "lockstep":
+		err = cmdLockstep(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "guests":
+		for _, n := range guest.Names() {
+			fmt.Println(n)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  flowcheck run      [prog.mc] [flags]   measure the information flow of one execution
+  flowcheck check    [prog.mc] [flags]   check a run against a cut (tainting mode, §6.2)
+  flowcheck lockstep [prog.mc] [flags]   output-comparison check with a shadow copy (§6.3)
+  flowcheck infer    [prog.mc]           propose/score enclosure annotations (§8.6)
+  flowcheck disasm   [prog.mc]           dump the compiled VM code with source sites
+  flowcheck guests                       list built-in case-study programs`)
+}
+
+type inputFlags struct {
+	guestName  *string
+	secretFile *string
+	secretStr  *string
+	publicFile *string
+	publicStr  *string
+}
+
+func addInputFlags(fs *flag.FlagSet) *inputFlags {
+	return &inputFlags{
+		guestName:  fs.String("guest", "", "use a built-in case-study program instead of a source file"),
+		secretFile: fs.String("secret-file", "", "file providing the secret input"),
+		secretStr:  fs.String("secret", "", "literal secret input"),
+		publicFile: fs.String("public-file", "", "file providing the public input"),
+		publicStr:  fs.String("public", "", "literal public input"),
+	}
+}
+
+func (f *inputFlags) load(fs *flag.FlagSet) (*vm.Program, core.Inputs, error) {
+	var in core.Inputs
+	var err error
+	if in.Secret, err = pick(*f.secretFile, *f.secretStr); err != nil {
+		return nil, in, err
+	}
+	if in.Public, err = pick(*f.publicFile, *f.publicStr); err != nil {
+		return nil, in, err
+	}
+	if *f.guestName != "" {
+		return guest.Program(*f.guestName), in, nil
+	}
+	if fs.NArg() < 1 {
+		return nil, in, fmt.Errorf("need a source file or -guest name")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return nil, in, err
+	}
+	prog, err := lang.Compile(fs.Arg(0), string(src))
+	return prog, in, err
+}
+
+func pick(file, lit string) ([]byte, error) {
+	if file != "" {
+		return os.ReadFile(file)
+	}
+	if lit != "" {
+		return []byte(lit), nil
+	}
+	return nil, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	exact := fs.Bool("exact", false, "disable graph collapsing (per-operation graph)")
+	ctx := fs.Bool("ctx", false, "context-sensitive edge labels")
+	warn := fs.Bool("warn-implicit", false, "warn on implicit flows outside enclosure regions")
+	dot := fs.String("dot", "", "write the flow graph in DOT form to this file")
+	ek := fs.Bool("edmonds-karp", false, "use Edmonds-Karp instead of Dinic")
+	showOut := fs.Bool("show-output", true, "print the program's output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, in, err := inputs.load(fs)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Taint: taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn}}
+	if *ek {
+		cfg.Algorithm = maxflow.EdmondsKarp
+	}
+	res, err := core.Analyze(prog, in, cfg)
+	if err != nil {
+		return err
+	}
+	if res.Trap != nil {
+		fmt.Printf("note: guest trapped: %v (results cover the partial run)\n", res.Trap)
+	}
+	if *showOut {
+		fmt.Printf("output (%d bytes): %q\n", len(res.Output), abbrev(res.Output))
+	}
+	fmt.Printf("secret input: %d bytes; tainted output bound: %d bits\n",
+		len(in.Secret), res.TaintedOutputBits)
+	fmt.Printf("maximum flow: %d bits\n", res.Bits)
+	fmt.Printf("minimum cut: %s\n", res.CutString())
+	fmt.Printf("graph: %d nodes, %d edges; %d steps executed\n",
+		res.Graph.NumNodes(), res.Graph.NumEdges(), res.Steps)
+	if len(res.Snapshots) > 0 {
+		fmt.Println("intermediate flows (__flownote):")
+		for _, s := range res.Snapshots {
+			fmt.Printf("  step %-10d output %4dB  %d bits\n", s.Steps, s.OutputBytes, s.Bits)
+		}
+	}
+	for _, w := range res.Warnings {
+		fmt.Println("warning:", w)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Graph.WriteDOT(f, "flow"); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *dot)
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	cutStr := fs.String("cut", "", "comma-separated cut sites (instruction addresses); default: derive by analyzing this run")
+	budget := fs.Int64("budget", -1, "policy budget in bits (default: the analyzed flow)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, in, err := inputs.load(fs)
+	if err != nil {
+		return err
+	}
+	var cut []uint32
+	bud := *budget
+	if *cutStr != "" {
+		for _, part := range strings.Split(*cutStr, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad cut site %q: %v", part, err)
+			}
+			cut = append(cut, uint32(v))
+		}
+	} else {
+		res, err := core.Analyze(prog, in, core.Config{})
+		if err != nil {
+			return err
+		}
+		cut = res.CutSites()
+		if bud < 0 {
+			bud = res.TaintedOutputBits + res.Bits // site-granular checking over-counts; allow slack
+		}
+		fmt.Printf("derived cut from analysis: sites %v (flow %d bits)\n", cut, res.Bits)
+	}
+	r, err := check.RunTaintCheck(prog, in.Secret, in.Public, cut, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("revealed across cut: %d bits; violations: %d (%d bits)\n",
+		r.RevealedBits, len(r.Violations), r.ViolationBits)
+	for _, v := range r.Violations {
+		fmt.Println("  violation:", v)
+	}
+	if bud >= 0 {
+		if r.OK(bud) {
+			fmt.Printf("policy OK (budget %d bits)\n", bud)
+		} else {
+			fmt.Printf("policy VIOLATED (budget %d bits)\n", bud)
+			os.Exit(1)
+		}
+	}
+	return nil
+}
+
+func cmdLockstep(args []string) error {
+	fs := flag.NewFlagSet("lockstep", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	dummyStr := fs.String("dummy", "", "innocuous input for the shadow copy (default: 'x' repeated)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, in, err := inputs.load(fs)
+	if err != nil {
+		return err
+	}
+	dummy := []byte(*dummyStr)
+	if len(dummy) == 0 {
+		dummy = make([]byte, len(in.Secret))
+		for i := range dummy {
+			dummy[i] = 'x'
+		}
+	}
+	res, err := core.Analyze(prog, in, core.Config{})
+	if err != nil {
+		return err
+	}
+	cut := res.CutSites()
+	fmt.Printf("derived cut from analysis: sites %v (flow %d bits)\n", cut, res.Bits)
+	r, err := check.RunLockstep(prog, in.Secret, dummy, in.Public, cut, 0)
+	if err != nil {
+		return err
+	}
+	if r.OK {
+		fmt.Printf("lockstep OK: outputs identical; %d bits transferred at the cut; %d total steps\n",
+			r.BitsTransferred, r.Steps)
+		return nil
+	}
+	fmt.Printf("lockstep VIOLATION: %s\n", r.Divergence)
+	os.Exit(1)
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	guestName := fs.String("guest", "", "disassemble a built-in case-study program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var prog *vm.Program
+	if *guestName != "" {
+		prog = guest.Program(*guestName)
+	} else {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("need a source file or -guest name")
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		prog, err = lang.Compile(fs.Arg(0), string(src))
+		if err != nil {
+			return err
+		}
+	}
+	lastSite := ^uint32(0)
+	for pc, in := range prog.Code {
+		if in.Site != lastSite {
+			fmt.Printf("; %s\n", prog.SiteString(in.Site))
+			lastSite = in.Site
+		}
+		fmt.Printf("%6d  %v\n", pc, in)
+	}
+	fmt.Printf("; %d instructions, %d data bytes, entry at %d\n",
+		len(prog.Code), len(prog.Data), prog.Entry)
+	return nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	guestName := fs.String("guest", "", "analyze a built-in case-study program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var name, src string
+	if *guestName != "" {
+		name, src = *guestName, guest.Source(*guestName)
+	} else {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("need a source file or -guest name")
+		}
+		b, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		name, src = fs.Arg(0), string(b)
+	}
+	f, err := parser.Parse(name, src)
+	if err != nil {
+		return err
+	}
+	rep := infer.AnalyzeFile(name, f)
+	fmt.Println(rep)
+	for _, item := range rep.Items {
+		note := ""
+		if item.NeedsLength {
+			note = " [needs length]"
+		}
+		fmt.Printf("  %s %s(%s): %s%s\n", item.Region, item.Func, item.Expr, item.Cat, note)
+	}
+	props := infer.Propose(f)
+	if len(props) > 0 {
+		fmt.Println("proposed regions for unannotated implicit-flow sites:")
+		for _, p := range props {
+			fmt.Printf("  %s %s: __enclose(%s)\n", p.Pos, p.Func, strings.Join(p.Outputs, ", "))
+		}
+	}
+	return nil
+}
+
+func abbrev(b []byte) []byte {
+	if len(b) > 96 {
+		return append(append([]byte{}, b[:93]...), "..."...)
+	}
+	return b
+}

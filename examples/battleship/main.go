@@ -1,0 +1,45 @@
+// Battleship: the paper's §8.1 case study as a playable demonstration.
+//
+// A scripted opponent fires at a secret board. After every reply the
+// analysis recomputes the flow bound (the paper's real-time mode), showing
+// the information budget tick up: 1 bit per miss, 2 per hit. The same game
+// against the shipTypeAt-buggy responder shows the leak the paper found in
+// KBattleship 3.3.2.
+//
+// Run with: go run ./examples/battleship
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowcheck"
+	"flowcheck/internal/guest"
+	"flowcheck/internal/workload"
+)
+
+func main() {
+	secret := workload.BattleshipSecret(42)
+	shots := [][2]byte{{0, 0}, {2, 3}, {4, 4}, {5, 5}, {6, 6}, {7, 2}, {9, 9}, {1, 8}}
+
+	fmt.Println("== patched responder (hit/miss/sunk flags only) ==")
+	play(secret, workload.BattleshipShots(0, shots))
+
+	fmt.Println("\n== buggy responder (returns shipTypeAt: the paper's bug) ==")
+	play(secret, workload.BattleshipShots(1, shots))
+}
+
+func play(secret, public []byte) {
+	res, err := flowcheck.Analyze(guest.Program("battleship"), flowcheck.Inputs{
+		Secret: secret,
+		Public: public,
+	}, flowcheck.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replies: %q\n", res.Output)
+	for i, s := range res.Snapshots {
+		fmt.Printf("  after shot %d: %2d bits of board information revealed\n", i+1, s.Bits)
+	}
+	fmt.Printf("total: %d bits\n", res.Bits)
+}

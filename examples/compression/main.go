@@ -1,0 +1,46 @@
+// Compression: a miniature of the paper's Figure 3 scaling study.
+//
+// The LZSS guest compresses increasing amounts of "the digits of pi in
+// English words". For each size the analysis measures the information flow
+// from the secret input to the compressed output; the measured bound
+// tracks min(input size, compressed size): tiny inputs don't compress, so
+// the input is the bottleneck; large repetitive inputs do, so the output
+// is.
+//
+// Run with: go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"flowcheck"
+	"flowcheck/internal/guest"
+	"flowcheck/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%8s %9s %11s %10s %10s  %s\n",
+		"input", "output", "flow(bits)", "in(bits)", "out(bits)", "time")
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		in := workload.PiWords(n)
+		start := time.Now()
+		res, err := flowcheck.Analyze(guest.Program("compress"),
+			flowcheck.Inputs{Secret: in}, flowcheck.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := "output-bound"
+		if res.Bits <= int64(8*len(res.Output))/2 || 8*n < 8*len(res.Output) {
+			bound = "input-bound"
+		}
+		bar := strings.Repeat("#", int(res.Bits/400)+1)
+		fmt.Printf("%8d %9d %11d %10d %10d  %-8s %s %s\n",
+			n, len(res.Output), res.Bits, 8*n, 8*len(res.Output),
+			time.Since(start).Round(time.Millisecond), bar, bound)
+	}
+	fmt.Println("\nThe flow bound follows the smaller of the two curves — the")
+	fmt.Println("Figure 3 shape — while analysis time stays linear in the input.")
+}

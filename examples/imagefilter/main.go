@@ -1,0 +1,55 @@
+// Imagefilter: the paper's Figure 5 — how much of a secret image survives
+// anonymizing transformations?
+//
+// A 25x25 grayscale image is pixelated, blurred, and swirled. All three
+// results look unidentifiable, but the analysis shows the first two squeeze
+// the image through a tiny intermediate form while the swirl preserves
+// (up to interpolation) everything — so a "redacted" swirl can be undone.
+//
+// Run with: go run ./examples/imagefilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowcheck"
+	"flowcheck/internal/guest"
+	"flowcheck/internal/workload"
+)
+
+var shades = []byte(" .:-=+*#%@")
+
+func main() {
+	img := workload.Image(25, 25, 99)
+	fmt.Println("original (secret) image:")
+	render(img)
+
+	names := []string{"pixelate", "blur", "swirl"}
+	for mode := byte(0); mode <= 2; mode++ {
+		res, err := flowcheck.Analyze(guest.Program("imagefilter"), flowcheck.Inputs{
+			Secret: img,
+			Public: []byte{mode},
+		}, flowcheck.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s — %d bits of the %d-bit image revealed:\n",
+			names[mode], res.Bits, 8*len(img))
+		render(res.Output)
+	}
+	fmt.Println("\nPixelate/blur bound the leak by the 5x5 intermediate form;")
+	fmt.Println("the swirl has no bottleneck, so nothing is provably lost.")
+}
+
+func render(img []byte) {
+	w, h := int(img[0]), int(img[1])
+	for y := 0; y < h; y++ {
+		row := make([]byte, 0, 2*w)
+		for x := 0; x < w; x++ {
+			s := shades[int(img[2+y*w+x])*len(shades)/256]
+			row = append(row, s, s)
+		}
+		fmt.Println(string(row))
+	}
+}

@@ -1,0 +1,50 @@
+// Interpreter: the paper's §10.3 direction — measuring flows through an
+// interpreter without trusting it.
+//
+// The guest is a little bytecode interpreter; the script is public, the
+// data it processes secret. The analysis instruments only the
+// interpreter's machine code, yet the reported bound tracks what each
+// *script* computes.
+//
+// Run with: go run ./examples/interpreter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowcheck"
+	"flowcheck/internal/guest"
+)
+
+type demo struct {
+	name   string
+	ops    []byte
+	expect string
+}
+
+func main() {
+	secret := make([]byte, 64)
+	copy(secret, "attack-at-dawn-0123456789abcdef-the-rest-is-padding-zzzzzzzzzzz")
+
+	demos := []demo{
+		{"OUT(in[3] & 0x0F)  — a nibble probe", []byte{1, 3, 2, 0x0F, 5, 7, 0}, "4 bits"},
+		{"OUT(in[0] ^ in[1]) — a parity byte", []byte{1, 0, 1, 1, 4, 7, 0}, "8 bits"},
+		{"OUT in[0..2]       — a 3-byte dump", []byte{1, 0, 7, 1, 1, 7, 1, 2, 7, 0}, "24 bits"},
+		{"in[0] < 100 ? skip banner : print it", []byte{1, 0, 2, 100, 9, 10, 3, 2, 'A', 7, 2, 'B', 7, 0}, "a few bits"},
+	}
+	for _, d := range demos {
+		public := append([]byte{byte(len(d.ops))}, d.ops...)
+		res, err := flowcheck.Analyze(guest.Program("interp"),
+			flowcheck.Inputs{Secret: secret, Public: public}, flowcheck.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s output=%-6q measured %2d bits (expected %s)\n",
+			d.name, res.Output, res.Bits, d.expect)
+	}
+	fmt.Println()
+	fmt.Println("Only the interpreter's dispatch loop is instrumented; the")
+	fmt.Println("measured flow nevertheless follows each script's computation")
+	fmt.Println("over the 512-bit secret — §10.3's interpreter support, for free.")
+}

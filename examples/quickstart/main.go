@@ -1,0 +1,52 @@
+// Quickstart: measure how much secret information a small program reveals.
+//
+// The guest program reads an 8-byte secret PIN and answers a range probe
+// ("is the first digit above 5?") plus a checksum of the PIN — a typical
+// partial-disclosure situation. The analysis reports how many bits the
+// answers actually carry, and where the information crossed (the minimum
+// cut).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowcheck"
+)
+
+const guestSrc = `
+int main() {
+    char pin[8];
+    read_secret(pin, 8);
+
+    /* A 1-bit probe: branch on secret data. */
+    if (pin[0] > '5') write_out("high ", 5);
+    else              write_out("low  ", 5);
+
+    /* A 4-bit summary: xor-fold the digits and keep a nibble. */
+    char sum;
+    sum = 0;
+    for (int i = 0; i < 8; i++) sum = sum ^ pin[i];
+    putc('0' + (sum & 0x0F));
+    putc('\n');
+    return 0;
+}`
+
+func main() {
+	res, err := flowcheck.AnalyzeSource("quickstart.mc", guestSrc,
+		flowcheck.Inputs{Secret: []byte("83427161")}, flowcheck.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %q\n", res.Output)
+	fmt.Printf("secret input:   %d bits\n", 8*8)
+	fmt.Printf("plain tainting would report: %d bits\n", res.TaintedOutputBits)
+	fmt.Printf("measured maximum flow:       %d bits\n", res.Bits)
+	fmt.Printf("minimum cut: %s\n", res.CutString())
+	fmt.Println()
+	fmt.Println("The answers carry 1 bit (the comparison steers which public")
+	fmt.Println("string is printed — an implicit flow tainting alone misses)")
+	fmt.Println("plus 4 bits (the masked checksum): 5 bits of the 64-bit PIN.")
+}

@@ -1,0 +1,3 @@
+module flowcheck
+
+go 1.23

@@ -1,0 +1,90 @@
+// Package guest holds the MiniC case-study programs of paper §2.4 and §8,
+// reimplemented as guests for the reproduction's VM.
+//
+// Each program reproduces the security-relevant kernel of one paper
+// subject:
+//
+//   - count_punct: the Figure 2 running example (9 bits).
+//   - battleship:  KBattleship's shot protocol (§8.1), in fixed and buggy
+//     (shipTypeAt-leaking) variants.
+//   - sshauth:     OpenSSH host authentication (§8.2) with a full MD5;
+//     the 128-bit digest is the measured bottleneck.
+//   - imagefilter: ImageMagick-style pixelate/blur/swirl (§8.3, Figure 5).
+//   - calendar:    OpenGroupware appointment-grid scheduling (§8.4).
+//   - xserver:     X-server text drawing with font-metric bounding boxes,
+//     cut-and-paste, and a memory-scanning attack path (§8.5).
+//   - compress:    an LZSS compressor standing in for bzip2 in the
+//     Figure 3 scaling study (§5.3).
+//   - unary:       the §3.2 unary-printer consistency example.
+//   - divzero:     the §3.1 division example (a 1-bit adversarial channel).
+//
+// Every program is compiled together with a small MiniC prelude
+// (stdlib.mc) providing strlen/puts/puti and friends.
+package guest
+
+import (
+	"embed"
+	"sort"
+	"sync"
+
+	"flowcheck/internal/lang"
+	"flowcheck/internal/lang/ast"
+	"flowcheck/internal/lang/parser"
+	"flowcheck/internal/vm"
+)
+
+//go:embed sources/*.mc
+var sources embed.FS
+
+// Names lists the available guest programs.
+func Names() []string {
+	entries, err := sources.ReadDir("sources")
+	if err != nil {
+		panic(err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if n == "stdlib.mc" {
+			continue
+		}
+		names = append(names, n[:len(n)-3])
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the full MiniC source of a guest (prelude included).
+func Source(name string) string {
+	prelude, err := sources.ReadFile("sources/stdlib.mc")
+	if err != nil {
+		panic(err)
+	}
+	body, err := sources.ReadFile("sources/" + name + ".mc")
+	if err != nil {
+		panic("guest: unknown program " + name)
+	}
+	return string(prelude) + "\n" + string(body)
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*vm.Program{}
+)
+
+// Program compiles (and caches) a guest program.
+func Program(name string) *vm.Program {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[name]; ok {
+		return p
+	}
+	p := lang.MustCompile(name+".mc", Source(name))
+	progCache[name] = p
+	return p
+}
+
+// AST parses a guest program (for the §8.6 inference study).
+func AST(name string) (*ast.File, error) {
+	return parser.Parse(name+".mc", Source(name))
+}

@@ -1,0 +1,249 @@
+package infer
+
+import (
+	"testing"
+
+	"flowcheck/internal/lang/parser"
+)
+
+func analyze(t *testing.T, src string) *Report {
+	t.Helper()
+	f, err := parser.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AnalyzeFile("t", f)
+}
+
+func TestSimpleScalarOutputsFound(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    int a; int b;
+    char buf[4];
+    __enclose(a, b) {
+        if (buf[0] == '.') a = 1;
+        else b = 2;
+    }
+    return 0;
+}`)
+	if rep.HandAnnots != 2 || rep.FoundCount != 2 {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestCountPunctAnnotationsFound(t *testing.T) {
+	rep := analyze(t, `
+void count_punct(char *buf) {
+    char num_dot; char num_qm; char num; char common; int i;
+    __enclose(num_dot, num_qm) {
+        for (i = 0; buf[i] != '\0'; i++) {
+            if (buf[i] == '.') num_dot++;
+            else if (buf[i] == '?') num_qm++;
+        }
+    }
+    __enclose(common, num) {
+        if (num_dot > num_qm) { common = '.'; num = num_dot; }
+        else                  { common = '?'; num = num_qm; }
+    }
+}
+int main() { return 0; }`)
+	if rep.HandAnnots != 4 || rep.FoundCount != 4 {
+		t.Fatalf("all four Figure-2 outputs should be found: %s", rep)
+	}
+}
+
+func TestNonConstIndexIsExpansionMiss(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    int arr[10];
+    int i;
+    char c;
+    __enclose(arr) {
+        if (c) arr[i] = 1;
+    }
+    return 0;
+}`)
+	if rep.MissExpand != 1 || rep.FoundCount != 0 {
+		t.Fatalf("non-constant index should be an expansion miss: %s", rep)
+	}
+}
+
+func TestConstIndexFound(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    int arr[10];
+    char c;
+    __enclose(arr) {
+        if (c) arr[3] = 1;
+    }
+    return 0;
+}`)
+	if rep.FoundCount != 1 {
+		t.Fatalf("constant index should be found: %s", rep)
+	}
+}
+
+func TestCalleeWriteIsInterproceduralMiss(t *testing.T) {
+	rep := analyze(t, `
+void helper(int *p) { *p = 1; }
+int main() {
+    int x;
+    char c;
+    __enclose(x) {
+        if (c) helper(&x);
+    }
+    return 0;
+}`)
+	if rep.MissInterp != 1 || rep.FoundCount != 0 {
+		t.Fatalf("write via callee should be interprocedural miss: %s", rep)
+	}
+}
+
+func TestRuntimeLengthCounted(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    char buf[64];
+    int n;
+    char c;
+    char *p; p = buf;
+    __enclose(p : n) {
+        int i;
+        for (i = 0; i < n; i++) if (c) p[i] = 0;
+    }
+    return 0;
+}`)
+	if rep.NeedLength != 1 {
+		t.Fatalf("runtime extent should count toward need-length: %s", rep)
+	}
+	// The pointer store itself is visible, though (expansion vs found
+	// depends on index constancy; p[i] with dynamic i is a pointer store
+	// through the declared pointer).
+	if rep.FoundCount+rep.MissExpand != 1 {
+		t.Fatalf("pointer range output should be classified: %s", rep)
+	}
+}
+
+func TestConstLengthNotCounted(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    char buf[64];
+    char c;
+    char *p; p = buf;
+    __enclose(p : 64) {
+        if (c) *p = 0;
+    }
+    return 0;
+}`)
+	if rep.NeedLength != 0 {
+		t.Fatalf("constant extent must not count toward need-length: %s", rep)
+	}
+	if rep.FoundCount != 1 {
+		t.Fatalf("pointer store should be found: %s", rep)
+	}
+}
+
+func TestRegionLocalsExcluded(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    int out;
+    char c;
+    __enclose(out) {
+        int tmp; tmp = 0;   // region-local: not an output
+        if (c) { tmp = 1; out = tmp; }
+    }
+    return 0;
+}`)
+	if rep.FoundCount != 1 || rep.HandAnnots != 1 {
+		t.Fatalf("locals must not confuse classification: %s", rep)
+	}
+}
+
+func TestIncDecCountAsWrites(t *testing.T) {
+	rep := analyze(t, `
+int main() {
+    int a; int b;
+    char c;
+    __enclose(a, b) {
+        if (c) { a++; --b; }
+    }
+    return 0;
+}`)
+	if rep.FoundCount != 2 {
+		t.Fatalf("inc/dec are writes: %s", rep)
+	}
+}
+
+func TestProposals(t *testing.T) {
+	f, err := parser.Parse("p.mc", `
+int count;
+int main() {
+    char buf[8];
+    int i;
+    for (i = 0; i < 8; i++)
+        if (buf[i] == 'x') count++;
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := Propose(f)
+	if len(props) != 1 {
+		t.Fatalf("proposals = %d, want 1 (the for loop)", len(props))
+	}
+	foundCount := false
+	for _, o := range props[0].Outputs {
+		if o == "count" {
+			foundCount = true
+		}
+	}
+	if !foundCount {
+		t.Fatalf("proposal should list count: %v", props[0].Outputs)
+	}
+}
+
+func TestProposeSkipsAnnotated(t *testing.T) {
+	f, err := parser.Parse("p.mc", `
+int main() {
+    int a;
+    char c;
+    __enclose(a) {
+        if (c) a = 1;
+    }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props := Propose(f); len(props) != 0 {
+		t.Fatalf("annotated code should yield no proposals, got %d", len(props))
+	}
+}
+
+func TestFoundFraction(t *testing.T) {
+	rep := &Report{HandAnnots: 4, FoundCount: 3}
+	if f := rep.FoundFraction(); f != 0.75 {
+		t.Fatalf("fraction = %v", f)
+	}
+	empty := &Report{}
+	if empty.FoundFraction() != 1 {
+		t.Fatal("empty report fraction should be 1")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	f, err := parser.Parse("e.mc", `
+int main() {
+    int a[4];
+    int i;
+    char c;
+    __enclose(a[i+1]) { if (c) a[i+1] = 0; }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzeFile("e", f)
+	if len(rep.Items) != 1 || rep.Items[0].Expr != "a[i+1]" {
+		t.Fatalf("items: %+v", rep.Items)
+	}
+}

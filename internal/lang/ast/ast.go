@@ -1,0 +1,421 @@
+// Package ast defines the abstract syntax tree and type representation of
+// MiniC. The parser produces this tree, the sema package resolves and types
+// it, the codegen package lowers it to vm instructions, and the infer
+// package (paper §8.6) analyzes it to propose enclosure-region annotations.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"flowcheck/internal/lang/token"
+)
+
+// ---------------------------------------------------------------- types ---
+
+// TypeKind enumerates MiniC types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	Void TypeKind = iota
+	Int           // 32-bit signed
+	Uint          // 32-bit unsigned
+	Char          // 8-bit unsigned
+	Pointer
+	Array
+	Func
+)
+
+// Type is a MiniC type. Types are compared structurally with Equal.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type // Pointer, Array
+	Len    int   // Array
+	Params []*Type
+	Result *Type // Func
+}
+
+// Pre-built basic types.
+var (
+	VoidType = &Type{Kind: Void}
+	IntType  = &Type{Kind: Int}
+	UintType = &Type{Kind: Uint}
+	CharType = &Type{Kind: Char}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Char:
+		return 1
+	case Int, Uint, Pointer:
+		return 4
+	case Array:
+		return t.Len * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsInteger reports whether t is an arithmetic integer type.
+func (t *Type) IsInteger() bool { return t.Kind == Int || t.Kind == Uint || t.Kind == Char }
+
+// IsScalar reports whether t can be held in a register (integers and
+// pointers).
+func (t *Type) IsScalar() bool { return t.IsInteger() || t.Kind == Pointer }
+
+// IsSigned reports whether arithmetic on t is signed.
+func (t *Type) IsSigned() bool { return t.Kind == Int }
+
+// Decay converts array types to pointers to their element type (as in C
+// expression contexts); other types are unchanged.
+func (t *Type) Decay() *Type {
+	if t.Kind == Array {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case Pointer:
+		return t.Elem.Equal(o.Elem)
+	case Array:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case Func:
+		if len(t.Params) != len(o.Params) || !t.Result.Equal(o.Result) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Uint:
+		return "uint"
+	case Char:
+		return "char"
+	case Pointer:
+		return t.Elem.String() + "*"
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case Func:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s(%s)", t.Result, strings.Join(parts, ","))
+	}
+	return "?"
+}
+
+// -------------------------------------------------------------- symbols ---
+
+// SymKind classifies declared names.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+	SymBuiltin
+)
+
+// Symbol is a resolved name. Sema creates symbols; codegen fills Addr (for
+// globals: data-segment address; for locals and params: frame offset
+// relative to BP).
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type *Type
+	Pos  token.Pos
+	// Addr is the data address (globals) or BP-relative offset (locals:
+	// negative; params: positive), assigned during code generation.
+	Addr int32
+	// Builtin identifies which builtin this is (SymBuiltin only).
+	Builtin string
+}
+
+// ---------------------------------------------------------------- exprs ---
+
+// Expr is an expression node. T is filled by sema with the node's value
+// type (after array decay where applicable).
+type Expr interface {
+	Pos() token.Pos
+	Type() *Type
+	SetType(*Type)
+}
+
+// ExprBase carries the position and (after sema) the type of an
+// expression; every expression node embeds it.
+type ExprBase struct {
+	P token.Pos
+	T *Type
+}
+
+// Pos returns the expression position.
+func (e *ExprBase) Pos() token.Pos { return e.P }
+
+// Type returns the value type assigned by sema (nil before checking).
+func (e *ExprBase) Type() *Type { return e.T }
+
+// SetType annotates the expression with its value type.
+func (e *ExprBase) SetType(t *Type) { e.T = t }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	ExprBase
+	Val uint32
+}
+
+// StrLit is a string literal; its value is NUL-terminated in the data
+// segment and the expression yields a char*.
+type StrLit struct {
+	ExprBase
+	Val string
+}
+
+// Ident is a name use; Sym is resolved by sema.
+type Ident struct {
+	ExprBase
+	Name string
+	Sym  *Symbol
+}
+
+// Unary is !x ~x -x *x &x ++x --x.
+type Unary struct {
+	ExprBase
+	Op token.Kind
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	ExprBase
+	Op token.Kind
+	X  Expr
+}
+
+// Binary is x op y for arithmetic, comparison, shift, and the
+// short-circuit logical operators.
+type Binary struct {
+	ExprBase
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Assign is lhs = rhs or a compound assignment (+=, <<=, ...).
+type Assign struct {
+	ExprBase
+	Op       token.Kind // token.Assign or a compound-assign kind
+	LHS, RHS Expr
+}
+
+// Cond is the ternary c ? a : b.
+type Cond struct {
+	ExprBase
+	C, Then, Else Expr
+}
+
+// Call is a function or builtin call.
+type Call struct {
+	ExprBase
+	Fun  *Ident
+	Args []Expr
+}
+
+// Index is x[i].
+type Index struct {
+	ExprBase
+	X, Idx Expr
+}
+
+// Cast is (type)x.
+type Cast struct {
+	ExprBase
+	To *Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct {
+	ExprBase
+	Of *Type
+}
+
+// ---------------------------------------------------------------- stmts ---
+
+// Stmt is a statement node.
+type Stmt interface {
+	Pos() token.Pos
+}
+
+// StmtBase carries the statement position; every statement node embeds it.
+type StmtBase struct{ P token.Pos }
+
+// Pos returns the statement position.
+func (s *StmtBase) Pos() token.Pos { return s.P }
+
+// Block is { stmts }.
+type Block struct {
+	StmtBase
+	Stmts []Stmt
+}
+
+// VarDecl declares one variable (a multi-declarator line parses into
+// several VarDecls). It appears at file scope or inside a DeclStmt.
+type VarDecl struct {
+	StmtBase
+	Name string
+	T    *Type
+	Init Expr // optional
+	Sym  *Symbol
+}
+
+// DeclStmt wraps local declarations.
+type DeclStmt struct {
+	StmtBase
+	Decls []*VarDecl
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	StmtBase
+	X Expr
+}
+
+// Empty is a lone semicolon.
+type Empty struct{ StmtBase }
+
+// If is if (c) then else.
+type If struct {
+	StmtBase
+	Cond       Expr
+	Then, Else Stmt // Else may be nil
+}
+
+// While is while (c) body.
+type While struct {
+	StmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is do body while (c);.
+type DoWhile struct {
+	StmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For is for (init; cond; post) body; any header part may be nil.
+type For struct {
+	StmtBase
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Case is one arm of a switch.
+type Case struct {
+	StmtBase
+	Vals      []int64 // constant labels; empty for default
+	IsDefault bool
+	Stmts     []Stmt
+}
+
+// Switch is switch (x) { cases } with C-style fallthrough.
+type Switch struct {
+	StmtBase
+	X     Expr
+	Cases []*Case
+}
+
+// Return is return [x].
+type Return struct {
+	StmtBase
+	X Expr // nil for void return
+}
+
+// Break and Continue affect the innermost loop or switch (break only).
+type Break struct{ StmtBase }
+
+// Continue continues the innermost loop.
+type Continue struct{ StmtBase }
+
+// EncItem is one declared output of an enclosure region: a scalar lvalue,
+// or a pointer expression with an explicit byte length (`ptr : len`).
+type EncItem struct {
+	Ptr Expr
+	Len Expr // nil for scalar lvalues
+}
+
+// Enclose is the paper's ENTER_ENCLOSE/LEAVE_ENCLOSE pair as a structured
+// single-entry single-exit statement:
+//
+//	__enclose(out1, buf : n) { ... }
+type Enclose struct {
+	StmtBase
+	Items []EncItem
+	Body  *Block
+	// DescOff is the BP-relative offset of the runtime output descriptor,
+	// assigned by codegen.
+	DescOff int32
+}
+
+// ---------------------------------------------------------------- decls ---
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	P      token.Pos
+	Name   string
+	Params []*VarDecl
+	Result *Type
+	Body   *Block
+	Sym    *Symbol
+}
+
+// Pos returns the declaration position.
+func (f *FuncDecl) Pos() token.Pos { return f.P }
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// NewPos constructs expression bases; helpers for the parser.
+func NewExprBase(p token.Pos) ExprBase { return ExprBase{P: p} }
+
+// NewStmtBase constructs statement bases.
+func NewStmtBase(p token.Pos) StmtBase { return StmtBase{P: p} }

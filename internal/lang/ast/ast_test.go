@@ -1,0 +1,69 @@
+package ast
+
+import "testing"
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int
+	}{
+		{VoidType, 0},
+		{CharType, 1},
+		{IntType, 4},
+		{UintType, 4},
+		{PointerTo(CharType), 4},
+		{ArrayOf(IntType, 10), 40},
+		{ArrayOf(ArrayOf(CharType, 3), 4), 12},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("Size(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PointerTo(IntType).Equal(PointerTo(IntType)) {
+		t.Error("identical pointer types unequal")
+	}
+	if PointerTo(IntType).Equal(PointerTo(CharType)) {
+		t.Error("different pointee types equal")
+	}
+	if ArrayOf(IntType, 3).Equal(ArrayOf(IntType, 4)) {
+		t.Error("different array lengths equal")
+	}
+	f1 := &Type{Kind: Func, Params: []*Type{IntType}, Result: VoidType}
+	f2 := &Type{Kind: Func, Params: []*Type{IntType}, Result: VoidType}
+	f3 := &Type{Kind: Func, Params: []*Type{CharType}, Result: VoidType}
+	if !f1.Equal(f2) || f1.Equal(f3) {
+		t.Error("function type equality wrong")
+	}
+	if IntType.Equal(nil) {
+		t.Error("nil comparison")
+	}
+}
+
+func TestTypeStringAndPredicates(t *testing.T) {
+	if s := ArrayOf(PointerTo(CharType), 8).String(); s != "char*[8]" {
+		t.Errorf("String = %q", s)
+	}
+	if !IntType.IsSigned() || UintType.IsSigned() || CharType.IsSigned() {
+		t.Error("signedness predicates wrong")
+	}
+	if !CharType.IsInteger() || PointerTo(IntType).IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if !PointerTo(IntType).IsScalar() || ArrayOf(IntType, 2).IsScalar() {
+		t.Error("IsScalar wrong")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	d := ArrayOf(IntType, 5).Decay()
+	if d.Kind != Pointer || d.Elem.Kind != Int {
+		t.Errorf("Decay = %v", d)
+	}
+	if IntType.Decay() != IntType {
+		t.Error("non-array types must not decay")
+	}
+}

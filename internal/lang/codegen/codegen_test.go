@@ -1,0 +1,226 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"flowcheck/internal/lang/parser"
+	"flowcheck/internal/lang/sema"
+	"flowcheck/internal/vm"
+)
+
+func compile(t *testing.T, src string) *vm.Program {
+	t.Helper()
+	f, err := parser.Parse("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGlobalsLayout(t *testing.T) {
+	p := compile(t, `
+int a;
+char buf[10];
+int b;
+int main() { return 0; }`)
+	addrA, okA := p.Globals["a"]
+	addrBuf, okBuf := p.Globals["buf"]
+	addrB, okB := p.Globals["b"]
+	if !okA || !okBuf || !okB {
+		t.Fatalf("globals map: %v", p.Globals)
+	}
+	if addrA < vm.DataBase {
+		t.Fatalf("a below data base: %#x", addrA)
+	}
+	if addrBuf != addrA+4 {
+		t.Fatalf("buf at %#x, want a+4", addrBuf)
+	}
+	// b is 4-aligned after the 10-byte buffer.
+	if addrB%4 != 0 || addrB < addrBuf+10 {
+		t.Fatalf("b at %#x", addrB)
+	}
+}
+
+func TestStringsInterned(t *testing.T) {
+	p := compile(t, `
+int main() {
+    char *a; char *b;
+    a = "shared";
+    b = "shared";
+    return a == b;
+}`)
+	// The data segment contains "shared" exactly once.
+	count := 0
+	data := string(p.Data)
+	for i := 0; i+6 <= len(data); i++ {
+		if data[i:i+6] == "shared" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("literal appears %d times in data", count)
+	}
+}
+
+func TestSiteTableMapsLines(t *testing.T) {
+	p := compile(t, `int main() {
+    int x;
+    x = 1;
+    return x;
+}`)
+	// Every instruction's site resolves to the source file.
+	for pc, in := range p.Code {
+		s := p.SiteString(in.Site)
+		if s == "" {
+			t.Fatalf("pc %d: empty site", pc)
+		}
+	}
+	// The assignment's instructions carry line 3.
+	found := false
+	for _, in := range p.Code {
+		if int(in.Site) < len(p.Sites) && p.Sites[in.Site].Line == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no instruction attributed to line 3")
+	}
+}
+
+func TestDenseSwitchEmitsJumpTable(t *testing.T) {
+	p := compile(t, `
+int main() {
+    int x; x = 2;
+    switch (x) {
+    case 0: return 10;
+    case 1: return 11;
+    case 2: return 12;
+    case 3: return 13;
+    }
+    return 99;
+}`)
+	hasInd := false
+	for _, in := range p.Code {
+		if in.Op == vm.OpJmpInd {
+			hasInd = true
+		}
+	}
+	if !hasInd {
+		t.Fatal("dense switch should compile to an indirect jump")
+	}
+	// The jump table in the data segment holds valid code addresses.
+	m := vm.NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 12 {
+		t.Fatalf("switch result = %d", m.ExitCode)
+	}
+}
+
+func TestSparseSwitchAvoidsTable(t *testing.T) {
+	p := compile(t, `
+int main() {
+    switch (5) {
+    case 1: return 1;
+    case 10000: return 2;
+    }
+    return 3;
+}`)
+	for _, in := range p.Code {
+		if in.Op == vm.OpJmpInd {
+			t.Fatal("sparse switch should not build a table")
+		}
+	}
+}
+
+func TestCharCastUsesSubRegister(t *testing.T) {
+	p := compile(t, `int main() { int x; x = 300; return (char)x; }`)
+	has := false
+	for _, in := range p.Code {
+		if in.Op == vm.OpExtB {
+			has = true
+		}
+	}
+	if !has {
+		t.Fatal("char cast should compile to a sub-register extract (§4.1)")
+	}
+	m := vm.NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 44 {
+		t.Fatalf("(char)300 = %d, want 44", m.ExitCode)
+	}
+}
+
+func TestGlobalInitializersRunBeforeMain(t *testing.T) {
+	p := compile(t, `
+int a = 7;
+int main() { return a; }`)
+	m := vm.NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 7 {
+		t.Fatalf("exit = %d", m.ExitCode)
+	}
+	// The raw data segment starts zeroed; the value is written by startup
+	// code.
+	addr := p.Globals["a"] - vm.DataBase
+	if binary.LittleEndian.Uint32(p.Data[addr:]) != 0 {
+		t.Fatal("initializer should not be baked into the data image")
+	}
+}
+
+func TestEncloseDescriptorShape(t *testing.T) {
+	p := compile(t, `
+int main() {
+    char buf[16];
+    int n;
+    __enclose(n, buf : 16) { n = 1; }
+    return n;
+}`)
+	// Execution decodes the descriptor without trapping and the region
+	// syscalls bracket the body.
+	enter, leave := 0, 0
+	for _, in := range p.Code {
+		if in.Op == vm.OpSys {
+			switch int(in.Imm) {
+			case vm.SysEnterRegion:
+				enter++
+			case vm.SysLeaveRegion:
+				leave++
+			}
+		}
+	}
+	if enter != 1 || leave != 1 {
+		t.Fatalf("region syscalls = %d/%d", enter, leave)
+	}
+	m := vm.NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 1 {
+		t.Fatalf("exit = %d", m.ExitCode)
+	}
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	p := compile(t, `int main() { int x; x = 5; }`)
+	m := vm.NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 0 {
+		t.Fatalf("fall-off exit = %d, want 0", m.ExitCode)
+	}
+}

@@ -1,0 +1,508 @@
+package codegen
+
+import (
+	"fmt"
+
+	"flowcheck/internal/lang/ast"
+	"flowcheck/internal/lang/token"
+	"flowcheck/internal/vm"
+)
+
+// expr compiles e, leaving its value in R0. R1 and R2 are clobbered;
+// intermediate values are spilled to the runtime stack.
+func (g *gen) expr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: int32(e.Val)})
+		return nil
+
+	case *ast.StrLit:
+		g.setSite(e.Pos())
+		addr := g.internString(e.Val)
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: int32(addr)})
+		return nil
+
+	case *ast.Ident:
+		g.setSite(e.Pos())
+		sym := e.Sym
+		if sym.Type.Kind == ast.Array {
+			return g.addr(e) // arrays decay to their address
+		}
+		switch sym.Kind {
+		case ast.SymLocal, ast.SymParam:
+			g.emit(vm.Instr{Op: vm.OpMov, A: vm.R1, B: vm.BP})
+			g.emit(vm.Instr{Op: vm.OpLoad, A: vm.R0, B: vm.R1, W: width(sym.Type), Imm: sym.Addr})
+		case ast.SymGlobal:
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: sym.Addr})
+			g.emit(vm.Instr{Op: vm.OpLoad, A: vm.R0, B: vm.R1, W: width(sym.Type)})
+		default:
+			return &Error{Pos: e.Pos(), Msg: "cannot evaluate " + sym.Name}
+		}
+		return nil
+
+	case *ast.Unary:
+		return g.unary(e)
+
+	case *ast.Postfix:
+		return g.incDec(e.X, e.Op == token.PlusPlus, false)
+
+	case *ast.Binary:
+		return g.binary(e)
+
+	case *ast.Assign:
+		return g.assign(e)
+
+	case *ast.Cond:
+		g.setSite(e.Pos())
+		if err := g.expr(e.C); err != nil {
+			return err
+		}
+		elseL, endL := g.newLabel(), g.newLabel()
+		g.jump(vm.OpJz, vm.R0, elseL)
+		if err := g.expr(e.Then); err != nil {
+			return err
+		}
+		g.jump(vm.OpJmp, 0, endL)
+		g.mark(elseL)
+		if err := g.expr(e.Else); err != nil {
+			return err
+		}
+		g.mark(endL)
+		return nil
+
+	case *ast.Call:
+		return g.call(e)
+
+	case *ast.Index:
+		if err := g.addrIndex(e); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		if elem := e.X.Type().Elem; elem.Kind != ast.Array {
+			g.emit(vm.Instr{Op: vm.OpLoad, A: vm.R0, B: vm.R0, W: width(elem)})
+		} // an array element decays to its address
+		return nil
+
+	case *ast.Cast:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		if e.To.Kind == ast.Char {
+			// Truncation to char is a sub-register read (paper §4.1): the
+			// low byte of the full register, zero-extended.
+			g.emit(vm.Instr{Op: vm.OpExtB, A: vm.R0, B: vm.R0, Imm: 0})
+		}
+		return nil
+
+	case *ast.SizeofExpr:
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: int32(e.Of.Size())})
+		return nil
+	}
+	return &Error{Pos: e.Pos(), Msg: fmt.Sprintf("unhandled expression %T", e)}
+}
+
+// addr compiles the address of lvalue e into R0.
+func (g *gen) addr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.Ident:
+		g.setSite(e.Pos())
+		sym := e.Sym
+		switch sym.Kind {
+		case ast.SymLocal, ast.SymParam:
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: sym.Addr})
+			g.emit(vm.Instr{Op: vm.OpAdd, A: vm.R0, B: vm.BP, C: vm.R1})
+		case ast.SymGlobal:
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: sym.Addr})
+		default:
+			return &Error{Pos: e.Pos(), Msg: sym.Name + " has no address"}
+		}
+		return nil
+
+	case *ast.Index:
+		return g.addrIndex(e)
+
+	case *ast.Unary:
+		if e.Op == token.Star {
+			return g.expr(e.X)
+		}
+	}
+	return &Error{Pos: e.Pos(), Msg: fmt.Sprintf("expression %T is not addressable", e)}
+}
+
+func (g *gen) addrIndex(e *ast.Index) error {
+	if err := g.expr(e.X); err != nil { // base pointer value
+		return err
+	}
+	g.emit(vm.Instr{Op: vm.OpPush, B: vm.R0})
+	if err := g.expr(e.Idx); err != nil {
+		return err
+	}
+	g.setSite(e.Pos())
+	size := e.X.Type().Elem.Size() // stride of the undecayed element type
+	if size != 1 {
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: int32(size)})
+		g.emit(vm.Instr{Op: vm.OpMul, A: vm.R0, B: vm.R0, C: vm.R1})
+	}
+	g.emit(vm.Instr{Op: vm.OpPop, A: vm.R1})
+	g.emit(vm.Instr{Op: vm.OpAdd, A: vm.R0, B: vm.R1, C: vm.R0})
+	return nil
+}
+
+func (g *gen) unary(e *ast.Unary) error {
+	switch e.Op {
+	case token.Star:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		if elem := e.X.Type().Elem; elem.Kind != ast.Array {
+			g.emit(vm.Instr{Op: vm.OpLoad, A: vm.R0, B: vm.R0, W: width(elem)})
+		}
+		return nil
+
+	case token.Amp:
+		return g.addr(e.X)
+
+	case token.Bang:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: 0})
+		g.emit(vm.Instr{Op: vm.OpCmpEQ, A: vm.R0, B: vm.R0, C: vm.R1})
+		return nil
+
+	case token.Tilde:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpNot, A: vm.R0, B: vm.R0})
+		return nil
+
+	case token.Minus:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpNeg, A: vm.R0, B: vm.R0})
+		return nil
+
+	case token.PlusPlus, token.MinusMinus:
+		return g.incDec(e.X, e.Op == token.PlusPlus, true)
+	}
+	return &Error{Pos: e.Pos(), Msg: "unhandled unary " + e.Op.String()}
+}
+
+// incDec compiles ++/-- on lvalue x. If pre, the result is the new value,
+// otherwise the old one. Pointers step by their element size.
+func (g *gen) incDec(x ast.Expr, inc, pre bool) error {
+	if err := g.addr(x); err != nil {
+		return err
+	}
+	g.setSite(x.Pos())
+	t := x.Type()
+	delta := int32(1)
+	if t.Kind == ast.Pointer {
+		delta = int32(t.Elem.Size())
+	}
+	w := width(t)
+	g.emit(vm.Instr{Op: vm.OpMov, A: vm.R2, B: vm.R0})        // R2 = addr
+	g.emit(vm.Instr{Op: vm.OpLoad, A: vm.R0, B: vm.R2, W: w}) // R0 = old
+	g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: delta})
+	op := vm.OpAdd
+	if !inc {
+		op = vm.OpSub
+	}
+	g.emit(vm.Instr{Op: op, A: vm.R1, B: vm.R0, C: vm.R1}) // R1 = new
+	g.emit(vm.Instr{Op: vm.OpStore, A: vm.R2, B: vm.R1, W: w})
+	if pre {
+		g.emit(vm.Instr{Op: vm.OpMov, A: vm.R0, B: vm.R1})
+	}
+	return nil
+}
+
+func (g *gen) binary(e *ast.Binary) error {
+	// Short-circuit logical operators compile to branches; when their
+	// operands are secret these branches are implicit flows, exactly as
+	// for compiled C (§2.2).
+	if e.Op == token.AndAnd || e.Op == token.OrOr {
+		falseL, endL := g.newLabel(), g.newLabel()
+		shortIsFalse := e.Op == token.AndAnd
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		if shortIsFalse {
+			g.jump(vm.OpJz, vm.R0, falseL)
+		} else {
+			g.jump(vm.OpJnz, vm.R0, falseL) // falseL doubles as the short-circuit target
+		}
+		if err := g.expr(e.Y); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		if shortIsFalse {
+			g.jump(vm.OpJz, vm.R0, falseL)
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: 1})
+			g.jump(vm.OpJmp, 0, endL)
+			g.mark(falseL)
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: 0})
+		} else {
+			g.jump(vm.OpJnz, vm.R0, falseL)
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: 0})
+			g.jump(vm.OpJmp, 0, endL)
+			g.mark(falseL)
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: 1})
+		}
+		g.mark(endL)
+		return nil
+	}
+
+	xt, yt := e.X.Type(), e.Y.Type()
+
+	if err := g.expr(e.X); err != nil {
+		return err
+	}
+	g.emit(vm.Instr{Op: vm.OpPush, B: vm.R0})
+	if err := g.expr(e.Y); err != nil {
+		return err
+	}
+	g.setSite(e.Pos())
+
+	// Pointer arithmetic scaling.
+	if e.Op == token.Plus || e.Op == token.Minus {
+		if xt.Kind == ast.Pointer && yt.IsInteger() && xt.Elem.Size() != 1 {
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: int32(xt.Elem.Size())})
+			g.emit(vm.Instr{Op: vm.OpMul, A: vm.R0, B: vm.R0, C: vm.R1})
+		}
+		if yt.Kind == ast.Pointer && xt.IsInteger() && yt.Elem.Size() != 1 {
+			// x (int, on stack) + y (pointer, in R0): scale the stacked int
+			// after popping, below.
+			g.emit(vm.Instr{Op: vm.OpPop, A: vm.R1})
+			g.emit(vm.Instr{Op: vm.OpConst, A: vm.R2, Imm: int32(yt.Elem.Size())})
+			g.emit(vm.Instr{Op: vm.OpMul, A: vm.R1, B: vm.R1, C: vm.R2})
+			g.emit(vm.Instr{Op: vm.OpAdd, A: vm.R0, B: vm.R1, C: vm.R0})
+			return nil
+		}
+	}
+
+	g.emit(vm.Instr{Op: vm.OpPop, A: vm.R1}) // R1 = x, R0 = y
+
+	signed := isSignedOp(xt, yt)
+	var op vm.Op
+	swap := false
+	switch e.Op {
+	case token.Plus:
+		op = vm.OpAdd
+	case token.Minus:
+		op = vm.OpSub
+	case token.Star:
+		op = vm.OpMul
+	case token.Slash:
+		op = pick(signed, vm.OpDivS, vm.OpDivU)
+	case token.Percent:
+		op = pick(signed, vm.OpModS, vm.OpModU)
+	case token.Amp:
+		op = vm.OpAnd
+	case token.Pipe:
+		op = vm.OpOr
+	case token.Caret:
+		op = vm.OpXor
+	case token.Shl:
+		op = vm.OpShl
+	case token.Shr:
+		op = pick(xt.IsSigned(), vm.OpShrS, vm.OpShrU)
+	case token.EqEq:
+		op = vm.OpCmpEQ
+	case token.NotEq:
+		op = vm.OpCmpNE
+	case token.Lt:
+		op = pick(signed, vm.OpCmpLTS, vm.OpCmpLTU)
+	case token.Le:
+		op = pick(signed, vm.OpCmpLES, vm.OpCmpLEU)
+	case token.Gt:
+		op = pick(signed, vm.OpCmpLTS, vm.OpCmpLTU)
+		swap = true
+	case token.Ge:
+		op = pick(signed, vm.OpCmpLES, vm.OpCmpLEU)
+		swap = true
+	default:
+		return &Error{Pos: e.Pos(), Msg: "unhandled binary " + e.Op.String()}
+	}
+	if swap {
+		g.emit(vm.Instr{Op: op, A: vm.R0, B: vm.R0, C: vm.R1})
+	} else {
+		g.emit(vm.Instr{Op: op, A: vm.R0, B: vm.R1, C: vm.R0})
+	}
+
+	// Pointer difference scales down by the element size.
+	if e.Op == token.Minus && xt.Kind == ast.Pointer && yt.Kind == ast.Pointer && xt.Elem.Size() != 1 {
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: int32(xt.Elem.Size())})
+		g.emit(vm.Instr{Op: vm.OpDivS, A: vm.R0, B: vm.R0, C: vm.R1})
+	}
+	return nil
+}
+
+// isSignedOp reports whether the usual arithmetic conversions make the
+// operation signed: true only when both promoted operands are signed ints
+// and no pointers are involved.
+func isSignedOp(x, y *ast.Type) bool {
+	if x.Kind == ast.Pointer || y.Kind == ast.Pointer {
+		return false
+	}
+	return x.Kind != ast.Uint && y.Kind != ast.Uint
+}
+
+func pick(c bool, a, b vm.Op) vm.Op {
+	if c {
+		return a
+	}
+	return b
+}
+
+func (g *gen) assign(e *ast.Assign) error {
+	lt := e.LHS.Type()
+	w := width(lt)
+
+	if err := g.addr(e.LHS); err != nil {
+		return err
+	}
+	g.emit(vm.Instr{Op: vm.OpPush, B: vm.R0})
+	if err := g.expr(e.RHS); err != nil {
+		return err
+	}
+	g.setSite(e.Pos())
+
+	if e.Op == token.Assign {
+		g.emit(vm.Instr{Op: vm.OpPop, A: vm.R1})
+		g.emit(vm.Instr{Op: vm.OpStore, A: vm.R1, B: vm.R0, W: w})
+		return nil
+	}
+
+	// Compound assignment: R0 = rhs; reload old value and combine.
+	if lt.Kind == ast.Pointer && lt.Elem.Size() != 1 {
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: int32(lt.Elem.Size())})
+		g.emit(vm.Instr{Op: vm.OpMul, A: vm.R0, B: vm.R0, C: vm.R1})
+	}
+	g.emit(vm.Instr{Op: vm.OpPop, A: vm.R1})                  // addr
+	g.emit(vm.Instr{Op: vm.OpLoad, A: vm.R2, B: vm.R1, W: w}) // old
+
+	signed := lt.IsSigned()
+	var op vm.Op
+	switch e.Op {
+	case token.PlusAssign:
+		op = vm.OpAdd
+	case token.MinusAssign:
+		op = vm.OpSub
+	case token.StarAssign:
+		op = vm.OpMul
+	case token.SlashAssign:
+		op = pick(signed, vm.OpDivS, vm.OpDivU)
+	case token.PercentAssign:
+		op = pick(signed, vm.OpModS, vm.OpModU)
+	case token.AmpAssign:
+		op = vm.OpAnd
+	case token.PipeAssign:
+		op = vm.OpOr
+	case token.CaretAssign:
+		op = vm.OpXor
+	case token.ShlAssign:
+		op = vm.OpShl
+	case token.ShrAssign:
+		op = pick(signed, vm.OpShrS, vm.OpShrU)
+	default:
+		return &Error{Pos: e.Pos(), Msg: "unhandled compound assignment"}
+	}
+	g.emit(vm.Instr{Op: op, A: vm.R0, B: vm.R2, C: vm.R0}) // new = old op rhs
+	g.emit(vm.Instr{Op: vm.OpStore, A: vm.R1, B: vm.R0, W: w})
+	return nil
+}
+
+func (g *gen) call(e *ast.Call) error {
+	sym := e.Fun.Sym
+	if sym.Kind == ast.SymBuiltin {
+		return g.builtin(e)
+	}
+	// Push arguments right to left.
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		if err := g.expr(e.Args[i]); err != nil {
+			return err
+		}
+		g.emit(vm.Instr{Op: vm.OpPush, B: vm.R0})
+	}
+	g.setSite(e.Pos())
+	pc := g.emit(vm.Instr{Op: vm.OpCall, Imm: -1})
+	g.callFix = append(g.callFix, fixup{pc: pc, name: e.Fun.Name})
+	if n := len(e.Args); n > 0 {
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R1, Imm: int32(4 * n)})
+		g.emit(vm.Instr{Op: vm.OpAdd, A: vm.SP, B: vm.SP, C: vm.R1})
+	}
+	return nil
+}
+
+func (g *gen) builtin(e *ast.Call) error {
+	// Helpers for the two-argument (pointer, length) builtins.
+	ptrLen := func() error {
+		if err := g.expr(e.Args[0]); err != nil {
+			return err
+		}
+		g.emit(vm.Instr{Op: vm.OpPush, B: vm.R0})
+		if err := g.expr(e.Args[1]); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpMov, A: vm.R2, B: vm.R0})
+		g.emit(vm.Instr{Op: vm.OpPop, A: vm.R1})
+		return nil
+	}
+	switch e.Fun.Sym.Builtin {
+	case "read_secret", "read_public":
+		if err := ptrLen(); err != nil {
+			return err
+		}
+		stream := int32(vm.StreamPublic)
+		if e.Fun.Sym.Builtin == "read_secret" {
+			stream = vm.StreamSecret
+		}
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: stream})
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysRead})
+	case "write_out":
+		if err := ptrLen(); err != nil {
+			return err
+		}
+		g.emit(vm.Instr{Op: vm.OpConst, A: vm.R0, Imm: 1})
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysWrite})
+	case "putc":
+		if err := g.expr(e.Args[0]); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysPutc})
+	case "exit":
+		if err := g.expr(e.Args[0]); err != nil {
+			return err
+		}
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysExit})
+	case "__secret":
+		if err := ptrLen(); err != nil {
+			return err
+		}
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysMarkSecret})
+	case "__declassify":
+		if err := ptrLen(); err != nil {
+			return err
+		}
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysDeclassify})
+	case "__flownote":
+		g.setSite(e.Pos())
+		g.emit(vm.Instr{Op: vm.OpSys, Imm: vm.SysFlowNote})
+	default:
+		return &Error{Pos: e.Pos(), Msg: "unknown builtin " + e.Fun.Name}
+	}
+	return nil
+}

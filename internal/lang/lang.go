@@ -1,0 +1,38 @@
+// Package lang ties together the MiniC front end: lexing, parsing, semantic
+// analysis, and code generation to the vm package's instruction set.
+//
+// MiniC is the guest language of this reproduction. The paper analyzes
+// compiled x86 binaries via Valgrind; here, guest programs are written in
+// this C subset and compiled to the reproduction's VM, so the analysis
+// observes the same kinds of machine-level events (word ALU ops, byte
+// loads/stores, conditional and indirect jumps, syscalls) it would on x86.
+package lang
+
+import (
+	"flowcheck/internal/lang/codegen"
+	"flowcheck/internal/lang/parser"
+	"flowcheck/internal/lang/sema"
+	"flowcheck/internal/vm"
+)
+
+// Compile parses, checks, and compiles one MiniC source file.
+func Compile(filename, src string) (*vm.Program, error) {
+	f, err := parser.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := sema.Check(f); err != nil {
+		return nil, err
+	}
+	return codegen.Compile(f)
+}
+
+// MustCompile is Compile for known-good sources (the embedded guest
+// programs); it panics on error.
+func MustCompile(filename, src string) *vm.Program {
+	p, err := Compile(filename, src)
+	if err != nil {
+		panic("lang: compiling " + filename + ": " + err.Error())
+	}
+	return p
+}

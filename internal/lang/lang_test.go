@@ -1,0 +1,588 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"flowcheck/internal/vm"
+)
+
+// exec compiles src, runs it with the given inputs, and returns the machine.
+func exec(t *testing.T, src string, secret, public string) *vm.Machine {
+	t.Helper()
+	p, err := Compile("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := vm.NewMachine(p)
+	m.SecretIn = []byte(secret)
+	m.PublicIn = []byte(public)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func out(t *testing.T, src string) string {
+	t.Helper()
+	return string(exec(t, src, "", "").Output)
+}
+
+func exitCode(t *testing.T, src string) uint32 {
+	t.Helper()
+	return exec(t, src, "", "").ExitCode
+}
+
+func TestReturnConstant(t *testing.T) {
+	if c := exitCode(t, `int main() { return 42; }`); c != 42 {
+		t.Fatalf("exit = %d", c)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want uint32
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10/3", 3},
+		{"10%3", 1},
+		{"7-10", 0xFFFFFFFD},
+		{"1<<10", 1024},
+		{"1024>>3", 128},
+		{"0xF0|0x0F", 0xFF},
+		{"0xFF&0x0F", 0x0F},
+		{"0xFF^0x0F", 0xF0},
+		{"~0", 0xFFFFFFFF},
+		{"-(5)", 0xFFFFFFFB},
+		{"!5", 0},
+		{"!0", 1},
+		{"3<4", 1},
+		{"4<=4", 1},
+		{"5>4", 1},
+		{"3>=4", 0},
+		{"3==3", 1},
+		{"3!=3", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 0", 0},
+		{"0 || 7", 1},
+		{"1 ? 11 : 22", 11},
+		{"0 ? 11 : 22", 22},
+		{"sizeof(int)", 4},
+		{"sizeof(char)", 1},
+		{"sizeof(int*)", 4},
+	}
+	for _, c := range cases {
+		src := "int main() { return " + c.expr + "; }"
+		if got := exitCode(t, src); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSignedVsUnsigned(t *testing.T) {
+	// -1 < 0 signed, but 0xFFFFFFFF > 0 unsigned.
+	if c := exitCode(t, `int main() { int a; a = -1; return a < 0; }`); c != 1 {
+		t.Fatal("signed compare failed")
+	}
+	if c := exitCode(t, `int main() { uint a; a = 0xFFFFFFFF; return a < 1; }`); c != 0 {
+		t.Fatal("unsigned compare failed")
+	}
+	// Arithmetic shift of negative int.
+	if c := exitCode(t, `int main() { int a; a = -8; return a >> 1 == -4; }`); c != 1 {
+		t.Fatal("arithmetic shift failed")
+	}
+	// Logical shift of uint.
+	if c := exitCode(t, `int main() { uint a; a = 0x80000000; return a >> 31; }`); c != 1 {
+		t.Fatal("logical shift failed")
+	}
+	// Signed vs unsigned division.
+	if c := exitCode(t, `int main() { int a; a = -7; return a / 2 == -3; }`); c != 1 {
+		t.Fatal("signed division failed")
+	}
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	src := `
+int main() {
+    int a, b, c;
+    a = 5; b = 7;
+    c = a;
+    c += b;
+    c *= 2;
+    c -= 4;
+    c /= 2;
+    return c; // (5+7)*2-4)/2 = 10
+}`
+	if c := exitCode(t, src); c != 10 {
+		t.Fatalf("compound assignment chain = %d, want 10", c)
+	}
+}
+
+func TestIncDec(t *testing.T) {
+	src := `
+int main() {
+    int a; a = 5;
+    int b; b = a++;   // b=5, a=6
+    int c; c = ++a;   // c=7, a=7
+    int d; d = a--;   // d=7, a=6
+    int e; e = --a;   // e=5, a=5
+    return b*1000 + c*100 + d*10 + e;
+}`
+	if c := exitCode(t, src); c != 5775 {
+		t.Fatalf("inc/dec = %d, want 5775", c)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+int main() {
+    int i, sum;
+    i = 0; sum = 0;
+    while (i < 10) { sum += i; i++; }
+    return sum;
+}`
+	if c := exitCode(t, src); c != 45 {
+		t.Fatalf("while sum = %d", c)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+int main() {
+    int sum; sum = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        sum += i; // 1+3+5+7+9 = 25
+    }
+    return sum;
+}`
+	if c := exitCode(t, src); c != 25 {
+		t.Fatalf("for loop = %d, want 25", c)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := `
+int main() {
+    int i; i = 10; int n; n = 0;
+    do { n++; } while (i < 5);
+    return n;
+}`
+	if c := exitCode(t, src); c != 1 {
+		t.Fatalf("do-while executed %d times, want 1", c)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n-1) + fib(n-2);
+}
+int main() { return fib(12); }`
+	if c := exitCode(t, src); c != 144 {
+		t.Fatalf("fib(12) = %d, want 144", c)
+	}
+}
+
+func TestMultipleArgs(t *testing.T) {
+	src := `
+int f(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }
+int main() { return f(1,2,3,4); }`
+	if c := exitCode(t, src); c != 1234 {
+		t.Fatalf("args = %d, want 1234", c)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	src := `
+int main() {
+    int a[10];
+    for (int i = 0; i < 10; i++) a[i] = i*i;
+    int *p; p = a;
+    int sum; sum = 0;
+    for (int i = 0; i < 10; i++) sum += p[i];
+    return sum; // 285
+}`
+	if c := exitCode(t, src); c != 285 {
+		t.Fatalf("array sum = %d, want 285", c)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	src := `
+int main() {
+    int a[5];
+    a[0]=10; a[1]=20; a[2]=30; a[3]=40; a[4]=50;
+    int *p; p = a;
+    p++;          // -> a[1]
+    p = p + 2;    // -> a[3]
+    int *q; q = a;
+    return *p + (p - q); // 40 + 3
+}`
+	if c := exitCode(t, src); c != 43 {
+		t.Fatalf("pointer arithmetic = %d, want 43", c)
+	}
+}
+
+func TestCharAndStrings(t *testing.T) {
+	src := `
+int strlen(char *s) {
+    int n; n = 0;
+    while (s[n] != '\0') n++;
+    return n;
+}
+int main() {
+    char *s; s = "hello";
+    for (int i = 0; i < strlen(s); i++) putc(s[i]);
+    putc('\n');
+    return strlen(s);
+}`
+	m := exec(t, src, "", "")
+	if string(m.Output) != "hello\n" || m.ExitCode != 5 {
+		t.Fatalf("output %q exit %d", m.Output, m.ExitCode)
+	}
+}
+
+func TestCharNarrowing(t *testing.T) {
+	src := `
+int main() {
+    char c;
+    c = (char)(300); // 300 & 0xFF = 44
+    return c;
+}`
+	if c := exitCode(t, src); c != 44 {
+		t.Fatalf("char narrowing = %d, want 44", c)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+int counter = 3;
+int table[4];
+int bump() { counter++; return counter; }
+int main() {
+    table[0] = bump();
+    table[1] = bump();
+    return table[0]*10 + table[1];
+}`
+	if c := exitCode(t, src); c != 45 {
+		t.Fatalf("globals = %d, want 45", c)
+	}
+}
+
+func TestAddressOf(t *testing.T) {
+	src := `
+void setv(int *p, int v) { *p = v; }
+int main() {
+    int x; x = 1;
+    setv(&x, 99);
+    return x;
+}`
+	if c := exitCode(t, src); c != 99 {
+		t.Fatalf("address-of = %d", c)
+	}
+}
+
+func TestSwitchDense(t *testing.T) {
+	src := `
+int classify(int x) {
+    switch (x) {
+    case 0: return 10;
+    case 1: return 11;
+    case 2: return 12;
+    case 3: // fallthrough
+    case 4: return 34;
+    default: return 99;
+    }
+}
+int main() {
+    return classify(0)*100000 + classify(2)*1000 + classify(3)*10 + classify(7)/11;
+}`
+	// 10*100000 + 12*1000 + 34*10 + 9 = 1012349
+	if c := exitCode(t, src); c != 1012349 {
+		t.Fatalf("dense switch = %d, want 1012349", c)
+	}
+}
+
+func TestSwitchSparse(t *testing.T) {
+	src := `
+int f(int x) {
+    switch (x) {
+    case 1: return 1;
+    case 1000: return 2;
+    case 100000: return 3;
+    }
+    return 0;
+}
+int main() { return f(1)*100 + f(1000)*10 + f(100000) + f(5); }`
+	if c := exitCode(t, src); c != 123 {
+		t.Fatalf("sparse switch = %d, want 123", c)
+	}
+}
+
+func TestSwitchFallthroughAndBreak(t *testing.T) {
+	src := `
+int main() {
+    int n; n = 0;
+    switch (2) {
+    case 1: n += 1;
+    case 2: n += 2;  // entry
+    case 3: n += 4;  // fallthrough
+        break;
+    case 4: n += 8;
+    }
+    return n;
+}`
+	if c := exitCode(t, src); c != 6 {
+		t.Fatalf("fallthrough = %d, want 6", c)
+	}
+}
+
+func TestReadWriteBuiltins(t *testing.T) {
+	src := `
+int main() {
+    char buf[16];
+    int n; n = read_secret(buf, 16);
+    write_out(buf, n);
+    return n;
+}`
+	m := exec(t, src, "topsecret", "")
+	if string(m.Output) != "topsecret" || m.ExitCode != 9 {
+		t.Fatalf("io: %q / %d", m.Output, m.ExitCode)
+	}
+}
+
+func TestEncloseCompilesAndRuns(t *testing.T) {
+	src := `
+int main() {
+    char buf[8];
+    int n; n = read_secret(buf, 8);
+    int count; count = 0;
+    __enclose(count) {
+        for (int i = 0; i < n; i++)
+            if (buf[i] == 'a') count++;
+    }
+    return count;
+}`
+	m := exec(t, src, "banana", "")
+	if m.ExitCode != 3 {
+		t.Fatalf("enclose count = %d, want 3", m.ExitCode)
+	}
+}
+
+func TestEncloseRangeItem(t *testing.T) {
+	src := `
+int main() {
+    char dst[4];
+    char src0[4];
+    src0[0]='x'; src0[1]='y'; src0[2]='z'; src0[3]='w';
+    __enclose(dst : 4) {
+        for (int i = 0; i < 4; i++) dst[i] = src0[3-i];
+    }
+    write_out(dst, 4);
+    return 0;
+}`
+	m := exec(t, src, "", "")
+	if string(m.Output) != "wzyx" {
+		t.Fatalf("enclose range: %q", m.Output)
+	}
+}
+
+func TestTernaryAndLogicalShortCircuit(t *testing.T) {
+	src := `
+int g;
+int touch() { g = 1; return 1; }
+int main() {
+    g = 0;
+    int r; r = (0 && touch()) ? 5 : 7;
+    if (g != 0) return 100; // touch must not run
+    int s; s = (1 || touch()) ? 2 : 3;
+    if (g != 0) return 200;
+    return r*10 + s; // 72
+}`
+	if c := exitCode(t, src); c != 72 {
+		t.Fatalf("short-circuit = %d, want 72", c)
+	}
+}
+
+func TestCastsAndUintHex(t *testing.T) {
+	src := `
+int main() {
+    uint x; x = 0xDEADBEEF;
+    char lo; lo = (char)x;        // 0xEF
+    uint hi; hi = x >> 24;        // 0xDE
+    return (int)lo + (int)hi;     // 239 + 222 = 461
+}`
+	if c := exitCode(t, src); c != 461 {
+		t.Fatalf("casts = %d, want 461", c)
+	}
+}
+
+func TestNestedArrays2D(t *testing.T) {
+	src := `
+int main() {
+    int grid[3][4];
+    for (int r = 0; r < 3; r++)
+        for (int c = 0; c < 4; c++)
+            grid[r][c] = r*10 + c;
+    return grid[2][3]; // 23
+}`
+	if c := exitCode(t, src); c != 23 {
+		t.Fatalf("2D array = %d, want 23", c)
+	}
+}
+
+func TestStringLiteralInterning(t *testing.T) {
+	src := `
+int main() {
+    char *a; a = "same";
+    char *b; b = "same";
+    return a == b;
+}`
+	if c := exitCode(t, src); c != 1 {
+		t.Fatal("identical literals should intern to one address")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared", `int main() { return x; }`, "undeclared"},
+		{"no-main", `int f() { return 0; }`, "no main"},
+		{"redefined", `int main() { int a; int a; return 0; }`, "redefinition"},
+		{"bad-call-arity", `int f(int a) { return a; } int main() { return f(); }`, "expects 1 arguments"},
+		{"void-var", `int main() { void v; return 0; }`, "void type"},
+		{"assign-to-rvalue", `int main() { 3 = 4; return 0; }`, "not assignable"},
+		{"break-outside", `int main() { break; return 0; }`, "break outside"},
+		{"return-in-enclose", `int main() { int x; __enclose(x) { return 1; } return 0; }`, "single-exit"},
+		{"break-crossing-enclose", `int main() { int x; while (1) { __enclose(x) { break; } } return 0; }`, "boundary"},
+		{"deref-int", `int main() { int x; return *x; }`, "dereference"},
+		{"duplicate-case", `int main() { switch (1) { case 1: case 1: return 0; } return 0; }`, "duplicate case"},
+		{"syntax", `int main() { return 1 +; }`, "syntax error"},
+		{"lex", "int main() { return 0; } @", "unexpected character"},
+		{"unterminated-string", `int main() { char *s; s = "abc`, "unterminated"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("err.mc", c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBreakInsideLoopInsideEncloseAllowed(t *testing.T) {
+	src := `
+int main() {
+    int count; count = 0;
+    __enclose(count) {
+        for (int i = 0; i < 10; i++) {
+            if (i == 3) break; // loop is inside the region: fine
+            count++;
+        }
+    }
+    return count;
+}`
+	if c := exitCode(t, src); c != 3 {
+		t.Fatalf("break in enclosed loop = %d, want 3", c)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+int main() {
+    return /* inline */ 9; // trailing
+}`
+	if c := exitCode(t, src); c != 9 {
+		t.Fatalf("comments = %d", c)
+	}
+}
+
+func TestGlobalInitOrder(t *testing.T) {
+	src := `
+int a = 10;
+int b = a + 5;
+int main() { return b; }`
+	if c := exitCode(t, src); c != 15 {
+		t.Fatalf("global init order = %d, want 15", c)
+	}
+}
+
+func TestDivByZeroTraps(t *testing.T) {
+	p, err := Compile("t.mc", `int main() { int z; z = 0; return 5/z; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.NewMachine(p)
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFigure2CountPunctBehaviour(t *testing.T) {
+	// The paper's Figure 2 program, ported to MiniC: prints the more
+	// common of '.' and '?', as many times as it occurred (mod 256).
+	src := `
+void count_punct(char *buf) {
+    char num_dot, num_qm, num;
+    char common;
+    int i;
+    num_dot = 0; num_qm = 0;
+    __enclose(num_dot, num_qm) {
+        for (i = 0; buf[i] != '\0'; i++) {
+            if (buf[i] == '.') num_dot++;
+            else if (buf[i] == '?') num_qm++;
+        }
+    }
+    __enclose(common, num) {
+        if (num_dot > num_qm) { common = '.'; num = num_dot; }
+        else                  { common = '?'; num = num_qm; }
+    }
+    while (num--) putc(common);
+}
+int main() {
+    char buf[256];
+    int n; n = read_secret(buf, 255);
+    buf[n] = '\0';
+    count_punct(buf);
+    return 0;
+}`
+	m := exec(t, src, "one. two. three? four. maybe? five.", "")
+	if string(m.Output) != "...." {
+		t.Fatalf("count_punct output %q, want %q", m.Output, "....")
+	}
+}
+
+func BenchmarkCompileFib(b *testing.B) {
+	src := `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(10); }`
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("bench.mc", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunFib(b *testing.B) {
+	p := MustCompile("bench.mc", `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(15); }`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.NewMachine(p)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

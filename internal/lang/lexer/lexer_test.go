@@ -1,0 +1,156 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"flowcheck/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize("t.mc", src)
+	if err != nil {
+		t.Fatalf("tokenize %q: %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	ks := kinds(t, "int uint unsigned char void if else while for do return foo _bar x9")
+	want := []token.Kind{
+		token.KwInt, token.KwUint, token.KwUint, token.KwChar, token.KwVoid,
+		token.KwIf, token.KwElse, token.KwWhile, token.KwFor, token.KwDo,
+		token.KwReturn, token.Ident, token.Ident, token.Ident, token.EOF,
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("kinds = %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestOperatorsLongestMatch(t *testing.T) {
+	cases := map[string]token.Kind{
+		"<<=": token.ShlAssign, ">>=": token.ShrAssign,
+		"<<": token.Shl, ">>": token.Shr, "<=": token.Le, ">=": token.Ge,
+		"==": token.EqEq, "!=": token.NotEq, "&&": token.AndAnd, "||": token.OrOr,
+		"++": token.PlusPlus, "--": token.MinusMinus,
+		"+=": token.PlusAssign, "^=": token.CaretAssign,
+		"<": token.Lt, "=": token.Assign, "&": token.Amp, "~": token.Tilde,
+	}
+	for src, want := range cases {
+		ks := kinds(t, src)
+		if ks[0] != want || ks[1] != token.EOF {
+			t.Errorf("%q -> %v, want %v", src, ks, want)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("t.mc", "0 42 4294967295 0x0 0xFF 0xdeadBEEF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 42, 4294967295, 0, 255, 0xdeadbeef}
+	for i, w := range want {
+		if toks[i].Kind != token.Int || toks[i].Val != w {
+			t.Errorf("number %d = %v (val %d), want %d", i, toks[i], toks[i].Val, w)
+		}
+	}
+}
+
+func TestNumberOverflow(t *testing.T) {
+	if _, err := Tokenize("t.mc", "4294967296"); err == nil {
+		t.Error("2^32 should be rejected")
+	}
+	if _, err := Tokenize("t.mc", "0x100000000"); err == nil {
+		t.Error("hex 2^32 should be rejected")
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	toks, err := Tokenize("t.mc", `'a' '\n' '\t' '\0' '\\' '\'' '\x41'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{'a', '\n', '\t', 0, '\\', '\'', 'A'}
+	for i, w := range want {
+		if toks[i].Val != w {
+			t.Errorf("char %d = %d, want %d", i, toks[i].Val, w)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks, err := Tokenize("t.mc", `"hello" "a\nb" "\x00\xff" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "a\nb", "\x00\xff", ""}
+	for i, w := range want {
+		if toks[i].Kind != token.String || toks[i].Str != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Str, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	ks := kinds(t, "a // line comment\n/* block\n comment */ b /*inline*/ c")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("kinds = %v", ks)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("f.mc", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if toks[0].Pos.File != "f.mc" {
+		t.Errorf("file = %q", toks[0].Pos.File)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"@", "unexpected character"},
+		{`"abc`, "unterminated string"},
+		{`"ab
+c"`, "newline in string"},
+		{"'", "unterminated char"},
+		{"''", "empty char"},
+		{"/* open", "unterminated block comment"},
+		{`'\q'`, "unknown escape"},
+		{`"\x4"`, `bad \x escape`},
+	}
+	for _, c := range cases {
+		_, err := Tokenize("t.mc", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want contains %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Tokenize("t.mc", "ok\n  @")
+	if err == nil || !strings.Contains(err.Error(), "t.mc:2:3") {
+		t.Fatalf("err = %v, want position t.mc:2:3", err)
+	}
+}

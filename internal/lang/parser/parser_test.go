@@ -1,0 +1,267 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"flowcheck/internal/lang/ast"
+	"flowcheck/internal/lang/token"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return f
+}
+
+func mainBody(t *testing.T, src string) []ast.Stmt {
+	t.Helper()
+	f := parse(t, src)
+	for _, fn := range f.Funcs {
+		if fn.Name == "main" {
+			return fn.Body.Stmts
+		}
+	}
+	t.Fatal("no main")
+	return nil
+}
+
+func TestGlobalsAndFunctions(t *testing.T) {
+	f := parse(t, `
+int g = 3;
+char buf[10];
+int *p, q;
+void f(int a, char *s, int arr[]) { }
+int main() { return 0; }`)
+	if len(f.Globals) != 4 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	if f.Globals[0].Name != "g" || f.Globals[0].Init == nil {
+		t.Fatalf("g = %+v", f.Globals[0])
+	}
+	if f.Globals[1].T.Kind != ast.Array || f.Globals[1].T.Len != 10 {
+		t.Fatalf("buf type = %v", f.Globals[1].T)
+	}
+	if f.Globals[2].T.Kind != ast.Pointer {
+		t.Fatalf("p type = %v", f.Globals[2].T)
+	}
+	if f.Globals[3].T.Kind != ast.Int {
+		t.Fatalf("q type = %v (pointer star must not distribute)", f.Globals[3].T)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if len(fn.Params) != 3 {
+		t.Fatalf("params = %d", len(fn.Params))
+	}
+	if fn.Params[2].T.Kind != ast.Pointer {
+		t.Fatalf("array param should decay to pointer, got %v", fn.Params[2].T)
+	}
+}
+
+func TestConstantArrayLengths(t *testing.T) {
+	f := parse(t, `
+char a[4*1024];
+char b[sizeof(int)*8];
+int main() { return 0; }`)
+	if f.Globals[0].T.Len != 4096 {
+		t.Fatalf("a len = %d", f.Globals[0].T.Len)
+	}
+	if f.Globals[1].T.Len != 32 {
+		t.Fatalf("b len = %d", f.Globals[1].T.Len)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	stmts := mainBody(t, `int main() { int x; x = 1 + 2 * 3 == 7 && 1 | 0; return 0; }`)
+	// x = (((1 + (2*3)) == 7) && (1|0))
+	es, ok := stmts[1].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmts[1])
+	}
+	asn := es.X.(*ast.Assign)
+	and, ok := asn.RHS.(*ast.Binary)
+	if !ok || and.Op != token.AndAnd {
+		t.Fatalf("top op = %+v, want &&", asn.RHS)
+	}
+	eq := and.X.(*ast.Binary)
+	if eq.Op != token.EqEq {
+		t.Fatalf("left of && = %v, want ==", eq.Op)
+	}
+	or := and.Y.(*ast.Binary)
+	if or.Op != token.Pipe {
+		t.Fatalf("right of && = %v, want |", or.Op)
+	}
+	plus := eq.X.(*ast.Binary)
+	if plus.Op != token.Plus {
+		t.Fatalf("left of == = %v", plus.Op)
+	}
+	mul := plus.Y.(*ast.Binary)
+	if mul.Op != token.Star {
+		t.Fatalf("right of + = %v", mul.Op)
+	}
+}
+
+func TestUnaryAndPostfix(t *testing.T) {
+	stmts := mainBody(t, `int main() { int x; int *p; x = -*p + !x; p[x]++; ++x; return 0; }`)
+	if len(stmts) < 5 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	if _, ok := stmts[3].(*ast.ExprStmt).X.(*ast.Postfix); !ok {
+		t.Fatalf("p[x]++ parsed as %T", stmts[3].(*ast.ExprStmt).X)
+	}
+	if u, ok := stmts[4].(*ast.ExprStmt).X.(*ast.Unary); !ok || u.Op != token.PlusPlus {
+		t.Fatalf("++x parsed as %T", stmts[4].(*ast.ExprStmt).X)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	stmts := mainBody(t, `int main() { int x; x = (int)x + (x); return 0; }`)
+	asn := stmts[1].(*ast.ExprStmt).X.(*ast.Assign)
+	add := asn.RHS.(*ast.Binary)
+	if _, ok := add.X.(*ast.Cast); !ok {
+		t.Fatalf("(int)x parsed as %T", add.X)
+	}
+	if _, ok := add.Y.(*ast.Ident); !ok {
+		t.Fatalf("(x) parsed as %T", add.Y)
+	}
+}
+
+func TestTernaryNesting(t *testing.T) {
+	stmts := mainBody(t, `int main() { int x; x = 1 ? 2 : 3 ? 4 : 5; return 0; }`)
+	asn := stmts[1].(*ast.ExprStmt).X.(*ast.Assign)
+	c := asn.RHS.(*ast.Cond)
+	if _, ok := c.Else.(*ast.Cond); !ok {
+		t.Fatalf("ternary should right-associate, else = %T", c.Else)
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	stmts := mainBody(t, `
+int main() {
+    if (1) ; else ;
+    while (1) break;
+    do { } while (0);
+    for (;;) break;
+    for (int i = 0; i < 3; i++) continue;
+    switch (1) { case 1: break; default: ; }
+    return 0;
+}`)
+	types := []string{"*ast.If", "*ast.While", "*ast.DoWhile", "*ast.For", "*ast.For", "*ast.Switch", "*ast.Return"}
+	if len(stmts) != len(types) {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	for i, want := range types {
+		if got := typeName(stmts[i]); got != want {
+			t.Errorf("stmt %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func typeName(s ast.Stmt) string {
+	switch s.(type) {
+	case *ast.If:
+		return "*ast.If"
+	case *ast.While:
+		return "*ast.While"
+	case *ast.DoWhile:
+		return "*ast.DoWhile"
+	case *ast.For:
+		return "*ast.For"
+	case *ast.Switch:
+		return "*ast.Switch"
+	case *ast.Return:
+		return "*ast.Return"
+	}
+	return "?"
+}
+
+func TestEncloseForms(t *testing.T) {
+	stmts := mainBody(t, `
+int main() {
+    int x; char buf[4]; int n;
+    __enclose(x) { }
+    __enclose(x, buf : 4, buf : n*2) { }
+    return 0;
+}`)
+	// stmts[0..2] are the three declaration statements.
+	e1 := stmts[3].(*ast.Enclose)
+	if len(e1.Items) != 1 || e1.Items[0].Len != nil {
+		t.Fatalf("e1 items = %+v", e1.Items)
+	}
+	e2 := stmts[4].(*ast.Enclose)
+	if len(e2.Items) != 3 {
+		t.Fatalf("e2 items = %d", len(e2.Items))
+	}
+	if e2.Items[1].Len == nil || e2.Items[2].Len == nil {
+		t.Fatal("range items must carry lengths")
+	}
+}
+
+func TestSwitchCaseStructure(t *testing.T) {
+	stmts := mainBody(t, `
+int main() {
+    switch (3) {
+    case 1:
+    case 2: return 1;
+    case 10+20: return 2;
+    default: return 3;
+    }
+    return 0;
+}`)
+	sw := stmts[0].(*ast.Switch)
+	if len(sw.Cases) != 4 {
+		t.Fatalf("cases = %d", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Stmts) != 0 {
+		t.Fatal("fallthrough case should have no stmts")
+	}
+	if sw.Cases[2].Vals[0] != 30 {
+		t.Fatalf("folded case = %d", sw.Cases[2].Vals[0])
+	}
+	if !sw.Cases[3].IsDefault {
+		t.Fatal("default not marked")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int main() { return 1 +; }", "expected expression"},
+		{"int main() { if 1) ; }", "expected ("},
+		{"int main() { int a[0]; }", "array length"},
+		{"int main() { int a[x]; }", "not a compile-time constant"},
+		{"int main() { 3(); }", "not a function name"},
+		{"int main() { switch (1) { int x; } }", "expected case or default"},
+		{"int main() {", "unexpected EOF"},
+		{"int 5;", "expected identifier"},
+		{"banana main() {}", "expected declaration"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.mc", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want contains %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	f := parse(t, `int f(void) { return 1; } int main() { return f(); }`)
+	if len(f.Funcs[0].Params) != 0 {
+		t.Fatalf("f(void) params = %d", len(f.Funcs[0].Params))
+	}
+}
+
+func TestMultiDimensionalArray(t *testing.T) {
+	f := parse(t, `int grid[3][4]; int main() { return 0; }`)
+	typ := f.Globals[0].T
+	if typ.Kind != ast.Array || typ.Len != 3 || typ.Elem.Kind != ast.Array || typ.Elem.Len != 4 {
+		t.Fatalf("grid type = %v", typ)
+	}
+	if typ.Size() != 48 {
+		t.Fatalf("size = %d", typ.Size())
+	}
+}

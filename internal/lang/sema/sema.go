@@ -1,0 +1,736 @@
+// Package sema resolves names and type-checks MiniC programs.
+//
+// Beyond ordinary C-subset checking, it enforces the structural rules the
+// paper's enclosure regions need (§2.2): a region is single-entry and
+// single-exit, so return statements and break/continue that would jump out
+// of an __enclose block are rejected, and the declared outputs must be
+// addressable locations.
+package sema
+
+import (
+	"fmt"
+
+	"flowcheck/internal/lang/ast"
+	"flowcheck/internal/lang/token"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Builtin signatures. A nil parameter type means "any pointer".
+type builtinSig struct {
+	params []*ast.Type
+	result *ast.Type
+}
+
+var anyPtr *ast.Type // sentinel: any pointer type accepted
+
+// Builtins maps builtin function names to their signatures. These compile
+// to syscalls rather than calls (see codegen).
+var builtins = map[string]builtinSig{
+	"read_secret":  {params: []*ast.Type{anyPtr, ast.IntType}, result: ast.IntType},
+	"read_public":  {params: []*ast.Type{anyPtr, ast.IntType}, result: ast.IntType},
+	"write_out":    {params: []*ast.Type{anyPtr, ast.IntType}, result: ast.VoidType},
+	"putc":         {params: []*ast.Type{ast.IntType}, result: ast.VoidType},
+	"exit":         {params: []*ast.Type{ast.IntType}, result: ast.VoidType},
+	"__secret":     {params: []*ast.Type{anyPtr, ast.IntType}, result: ast.VoidType},
+	"__declassify": {params: []*ast.Type{anyPtr, ast.IntType}, result: ast.VoidType},
+	"__flownote":   {params: []*ast.Type{}, result: ast.VoidType},
+}
+
+// IsBuiltin reports whether name is a MiniC builtin.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
+type checker struct {
+	file   *ast.File
+	scopes []map[string]*ast.Symbol
+	fn     *ast.FuncDecl
+
+	// Single-exit enforcement for __enclose (paper §2.2): break and
+	// continue may not cross a region boundary, and return may not appear
+	// inside one.
+	breakDepth   int
+	contDepth    int
+	encloseBreak []int // breakDepth at each active enclose entry
+	encloseCont  []int
+}
+
+// Check resolves and type-checks a file in place. It returns the first
+// error found, or nil.
+func Check(f *ast.File) error {
+	c := &checker{file: f}
+	c.pushScope()
+	// Declare builtins.
+	for name, sig := range builtins {
+		params := make([]*ast.Type, len(sig.params))
+		for i, p := range sig.params {
+			if p == anyPtr {
+				params[i] = ast.PointerTo(ast.VoidType)
+			} else {
+				params[i] = p
+			}
+		}
+		c.scopes[0][name] = &ast.Symbol{
+			Name: name, Kind: ast.SymBuiltin, Builtin: name,
+			Type: &ast.Type{Kind: ast.Func, Params: params, Result: sig.result},
+		}
+	}
+	// Declare globals and functions (two passes so functions can call
+	// forward and reference any global).
+	for _, g := range f.Globals {
+		if err := c.declareVar(g, ast.SymGlobal); err != nil {
+			return err
+		}
+	}
+	for _, fn := range f.Funcs {
+		if c.lookupLocal(fn.Name) != nil {
+			return &Error{Pos: fn.Pos(), Msg: "redefinition of " + fn.Name}
+		}
+		params := make([]*ast.Type, len(fn.Params))
+		for i, p := range fn.Params {
+			params[i] = p.T
+		}
+		sym := &ast.Symbol{
+			Name: fn.Name, Kind: ast.SymFunc, Pos: fn.Pos(),
+			Type: &ast.Type{Kind: ast.Func, Params: params, Result: fn.Result},
+		}
+		fn.Sym = sym
+		c.scopes[0][fn.Name] = sym
+	}
+	// Check global initializers (they run in the synthesized startup code,
+	// in declaration order, before main).
+	for _, g := range f.Globals {
+		if g.Init != nil {
+			t, err := c.exprRV(g.Init)
+			if err != nil {
+				return err
+			}
+			if err := c.assignable(t, g.T.Decay(), g.Init.Pos()); err != nil {
+				return err
+			}
+		}
+	}
+	// Check function bodies.
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	// A program must have a main.
+	if s := c.scopes[0]["main"]; s == nil || s.Kind != ast.SymFunc {
+		return &Error{Msg: "program has no main function"}
+	}
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*ast.Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *ast.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) lookupLocal(name string) *ast.Symbol {
+	return c.scopes[len(c.scopes)-1][name]
+}
+
+func (c *checker) declareVar(d *ast.VarDecl, kind ast.SymKind) error {
+	if c.lookupLocal(d.Name) != nil {
+		return &Error{Pos: d.Pos(), Msg: "redefinition of " + d.Name}
+	}
+	if d.T.Kind == ast.Void {
+		return &Error{Pos: d.Pos(), Msg: "variable " + d.Name + " has void type"}
+	}
+	sym := &ast.Symbol{Name: d.Name, Kind: kind, Type: d.T, Pos: d.Pos()}
+	d.Sym = sym
+	c.scopes[len(c.scopes)-1][d.Name] = sym
+	return nil
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) error {
+	c.fn = fn
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		if p.T.Kind == ast.Array {
+			p.T = ast.PointerTo(p.T.Elem)
+		}
+		if err := c.declareVar(p, ast.SymParam); err != nil {
+			return err
+		}
+	}
+	return c.stmt(fn.Body)
+}
+
+// ------------------------------------------------------------ statements ---
+
+func (c *checker) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.pushScope()
+		defer c.popScope()
+		for _, st := range s.Stmts {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			if err := c.declareVar(d, ast.SymLocal); err != nil {
+				return err
+			}
+			if d.Init != nil {
+				t, err := c.exprRV(d.Init)
+				if err != nil {
+					return err
+				}
+				if err := c.assignable(t, d.T.Decay(), d.Init.Pos()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		_, err := c.exprRV(s.X)
+		return err
+
+	case *ast.Empty:
+		return nil
+
+	case *ast.If:
+		if err := c.scalarCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+
+	case *ast.While:
+		if err := c.scalarCond(s.Cond); err != nil {
+			return err
+		}
+		c.breakDepth++
+		c.contDepth++
+		err := c.stmt(s.Body)
+		c.breakDepth--
+		c.contDepth--
+		return err
+
+	case *ast.DoWhile:
+		c.breakDepth++
+		c.contDepth++
+		err := c.stmt(s.Body)
+		c.breakDepth--
+		c.contDepth--
+		if err != nil {
+			return err
+		}
+		return c.scalarCond(s.Cond)
+
+	case *ast.For:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.scalarCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if _, err := c.exprRV(s.Post); err != nil {
+				return err
+			}
+		}
+		c.breakDepth++
+		c.contDepth++
+		err := c.stmt(s.Body)
+		c.breakDepth--
+		c.contDepth--
+		return err
+
+	case *ast.Switch:
+		t, err := c.exprRV(s.X)
+		if err != nil {
+			return err
+		}
+		if !t.IsInteger() {
+			return &Error{Pos: s.X.Pos(), Msg: "switch expression must be an integer"}
+		}
+		seen := map[int64]bool{}
+		defaults := 0
+		c.breakDepth++
+		defer func() { c.breakDepth-- }()
+		for _, cs := range s.Cases {
+			if cs.IsDefault {
+				defaults++
+				if defaults > 1 {
+					return &Error{Pos: cs.Pos(), Msg: "multiple default cases"}
+				}
+			}
+			for _, v := range cs.Vals {
+				if seen[v] {
+					return &Error{Pos: cs.Pos(), Msg: fmt.Sprintf("duplicate case %d", v)}
+				}
+				seen[v] = true
+			}
+			for _, st := range cs.Stmts {
+				if err := c.stmt(st); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case *ast.Return:
+		if len(c.encloseBreak) > 0 {
+			return &Error{Pos: s.Pos(), Msg: "return inside __enclose region (regions must be single-exit)"}
+		}
+		want := c.fn.Result
+		if s.X == nil {
+			if want.Kind != ast.Void {
+				return &Error{Pos: s.Pos(), Msg: "missing return value in " + c.fn.Name}
+			}
+			return nil
+		}
+		if want.Kind == ast.Void {
+			return &Error{Pos: s.Pos(), Msg: "return with value in void function " + c.fn.Name}
+		}
+		t, err := c.exprRV(s.X)
+		if err != nil {
+			return err
+		}
+		return c.assignable(t, want, s.X.Pos())
+
+	case *ast.Break:
+		base := 0
+		if n := len(c.encloseBreak); n > 0 {
+			base = c.encloseBreak[n-1]
+		}
+		if c.breakDepth <= base {
+			return &Error{Pos: s.Pos(), Msg: "break outside loop or switch (or crossing an __enclose boundary)"}
+		}
+		return nil
+
+	case *ast.Continue:
+		base := 0
+		if n := len(c.encloseCont); n > 0 {
+			base = c.encloseCont[n-1]
+		}
+		if c.contDepth <= base {
+			return &Error{Pos: s.Pos(), Msg: "continue outside loop (or crossing an __enclose boundary)"}
+		}
+		return nil
+
+	case *ast.Enclose:
+		for i, it := range s.Items {
+			if it.Len == nil {
+				// Scalar lvalue output.
+				t, err := c.exprLV(it.Ptr)
+				if err != nil {
+					return err
+				}
+				if !t.IsScalar() && t.Kind != ast.Array {
+					return &Error{Pos: it.Ptr.Pos(), Msg: fmt.Sprintf("enclosure output %d is not addressable data", i)}
+				}
+			} else {
+				t, err := c.exprRV(it.Ptr)
+				if err != nil {
+					return err
+				}
+				if t.Kind != ast.Pointer {
+					return &Error{Pos: it.Ptr.Pos(), Msg: "enclosure range output must be a pointer"}
+				}
+				lt, err := c.exprRV(it.Len)
+				if err != nil {
+					return err
+				}
+				if !lt.IsInteger() {
+					return &Error{Pos: it.Len.Pos(), Msg: "enclosure range length must be an integer"}
+				}
+			}
+		}
+		c.encloseBreak = append(c.encloseBreak, c.breakDepth)
+		c.encloseCont = append(c.encloseCont, c.contDepth)
+		err := c.stmt(s.Body)
+		c.encloseBreak = c.encloseBreak[:len(c.encloseBreak)-1]
+		c.encloseCont = c.encloseCont[:len(c.encloseCont)-1]
+		return err
+	}
+	return &Error{Pos: s.Pos(), Msg: fmt.Sprintf("unhandled statement %T", s)}
+}
+
+func (c *checker) scalarCond(e ast.Expr) error {
+	t, err := c.exprRV(e)
+	if err != nil {
+		return err
+	}
+	if !t.IsScalar() {
+		return &Error{Pos: e.Pos(), Msg: "condition must be scalar, got " + t.String()}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------- expressions ---
+
+// exprRV types an expression in rvalue context (arrays decay to pointers).
+func (c *checker) exprRV(e ast.Expr) (*ast.Type, error) {
+	t, err := c.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	d := t.Decay()
+	if d != t {
+		e.SetType(d)
+	}
+	return d, nil
+}
+
+// exprLV types an expression and verifies it is an lvalue.
+func (c *checker) exprLV(e ast.Expr) (*ast.Type, error) {
+	t, err := c.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	if !isLvalue(e) {
+		return nil, &Error{Pos: e.Pos(), Msg: "expression is not assignable"}
+	}
+	return t, nil
+}
+
+func isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Sym != nil && e.Sym.Kind != ast.SymFunc && e.Sym.Kind != ast.SymBuiltin
+	case *ast.Index:
+		return true
+	case *ast.Unary:
+		return e.Op == token.Star
+	}
+	return false
+}
+
+func (c *checker) expr(e ast.Expr) (*ast.Type, error) {
+	t, err := c.exprInner(e)
+	if err != nil {
+		return nil, err
+	}
+	e.SetType(t)
+	return t, nil
+}
+
+func (c *checker) exprInner(e ast.Expr) (*ast.Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ast.IntType, nil
+
+	case *ast.StrLit:
+		return ast.PointerTo(ast.CharType), nil
+
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return nil, &Error{Pos: e.Pos(), Msg: "undeclared identifier " + e.Name}
+		}
+		e.Sym = sym
+		return sym.Type, nil
+
+	case *ast.Unary:
+		return c.unary(e)
+
+	case *ast.Postfix:
+		t, err := c.exprLV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() {
+			return nil, &Error{Pos: e.Pos(), Msg: "++/-- needs a scalar operand"}
+		}
+		return t, nil
+
+	case *ast.Binary:
+		return c.binary(e)
+
+	case *ast.Assign:
+		lt, err := c.exprLV(e.LHS)
+		if err != nil {
+			return nil, err
+		}
+		if lt.Kind == ast.Array {
+			return nil, &Error{Pos: e.Pos(), Msg: "cannot assign to an array"}
+		}
+		rt, err := c.exprRV(e.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == token.Assign {
+			if err := c.assignable(rt, lt, e.RHS.Pos()); err != nil {
+				return nil, err
+			}
+		} else {
+			// Compound assignment: pointer += int is allowed; otherwise
+			// both sides must be integers.
+			if lt.Kind == ast.Pointer {
+				if (e.Op != token.PlusAssign && e.Op != token.MinusAssign) || !rt.IsInteger() {
+					return nil, &Error{Pos: e.Pos(), Msg: "invalid compound assignment to pointer"}
+				}
+			} else if !lt.IsInteger() || !rt.IsInteger() {
+				return nil, &Error{Pos: e.Pos(), Msg: "compound assignment needs integer operands"}
+			}
+		}
+		return lt, nil
+
+	case *ast.Cond:
+		if err := c.scalarCond(e.C); err != nil {
+			return nil, err
+		}
+		tt, err := c.exprRV(e.Then)
+		if err != nil {
+			return nil, err
+		}
+		et, err := c.exprRV(e.Else)
+		if err != nil {
+			return nil, err
+		}
+		if tt.IsInteger() && et.IsInteger() {
+			return promote2(tt, et), nil
+		}
+		if tt.Equal(et) {
+			return tt, nil
+		}
+		return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("mismatched ternary arms: %s vs %s", tt, et)}
+
+	case *ast.Call:
+		return c.call(e)
+
+	case *ast.Index:
+		xt, err := c.exprRV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != ast.Pointer {
+			return nil, &Error{Pos: e.Pos(), Msg: "indexed expression is not a pointer or array"}
+		}
+		if xt.Elem.Kind == ast.Void {
+			return nil, &Error{Pos: e.Pos(), Msg: "cannot index a void pointer"}
+		}
+		it, err := c.exprRV(e.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !it.IsInteger() {
+			return nil, &Error{Pos: e.Idx.Pos(), Msg: "array index must be an integer"}
+		}
+		return xt.Elem, nil
+
+	case *ast.Cast:
+		xt, err := c.exprRV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if !xt.IsScalar() || !e.To.IsScalar() && e.To.Kind != ast.Void {
+			return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("invalid cast from %s to %s", xt, e.To)}
+		}
+		return e.To, nil
+
+	case *ast.SizeofExpr:
+		return ast.UintType, nil
+	}
+	return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("unhandled expression %T", e)}
+}
+
+func (c *checker) unary(e *ast.Unary) (*ast.Type, error) {
+	switch e.Op {
+	case token.Star:
+		t, err := c.exprRV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != ast.Pointer || t.Elem.Kind == ast.Void {
+			return nil, &Error{Pos: e.Pos(), Msg: "cannot dereference " + t.String()}
+		}
+		return t.Elem, nil
+
+	case token.Amp:
+		t, err := c.exprLV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == ast.Array {
+			// &arr aliases the first element, as the guests use it.
+			return ast.PointerTo(t.Elem), nil
+		}
+		return ast.PointerTo(t), nil
+
+	case token.Bang:
+		if err := c.scalarCond(e.X); err != nil {
+			return nil, err
+		}
+		return ast.IntType, nil
+
+	case token.Tilde, token.Minus:
+		t, err := c.exprRV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsInteger() {
+			return nil, &Error{Pos: e.Pos(), Msg: "operand must be an integer"}
+		}
+		return promote(t), nil
+
+	case token.PlusPlus, token.MinusMinus:
+		t, err := c.exprLV(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() {
+			return nil, &Error{Pos: e.Pos(), Msg: "++/-- needs a scalar operand"}
+		}
+		return t, nil
+	}
+	return nil, &Error{Pos: e.Pos(), Msg: "unhandled unary operator " + e.Op.String()}
+}
+
+func (c *checker) binary(e *ast.Binary) (*ast.Type, error) {
+	xt, err := c.exprRV(e.X)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := c.exprRV(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case token.AndAnd, token.OrOr:
+		if !xt.IsScalar() || !yt.IsScalar() {
+			return nil, &Error{Pos: e.Pos(), Msg: "logical operands must be scalar"}
+		}
+		return ast.IntType, nil
+
+	case token.EqEq, token.NotEq, token.Lt, token.Le, token.Gt, token.Ge:
+		if xt.IsInteger() && yt.IsInteger() ||
+			xt.Kind == ast.Pointer && yt.Kind == ast.Pointer ||
+			xt.Kind == ast.Pointer && isZero(e.Y) || yt.Kind == ast.Pointer && isZero(e.X) {
+			return ast.IntType, nil
+		}
+		return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("cannot compare %s and %s", xt, yt)}
+
+	case token.Plus:
+		if xt.Kind == ast.Pointer && yt.IsInteger() {
+			return xt, nil
+		}
+		if yt.Kind == ast.Pointer && xt.IsInteger() {
+			return yt, nil
+		}
+	case token.Minus:
+		if xt.Kind == ast.Pointer && yt.IsInteger() {
+			return xt, nil
+		}
+		if xt.Kind == ast.Pointer && yt.Kind == ast.Pointer {
+			if !xt.Elem.Equal(yt.Elem) {
+				return nil, &Error{Pos: e.Pos(), Msg: "subtraction of incompatible pointers"}
+			}
+			return ast.IntType, nil
+		}
+	}
+	if !xt.IsInteger() || !yt.IsInteger() {
+		return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("invalid operands to %s: %s and %s", e.Op, xt, yt)}
+	}
+	return promote2(xt, yt), nil
+}
+
+func (c *checker) call(e *ast.Call) (*ast.Type, error) {
+	sym := c.lookup(e.Fun.Name)
+	if sym == nil {
+		return nil, &Error{Pos: e.Pos(), Msg: "call to undeclared function " + e.Fun.Name}
+	}
+	if sym.Kind != ast.SymFunc && sym.Kind != ast.SymBuiltin {
+		return nil, &Error{Pos: e.Pos(), Msg: e.Fun.Name + " is not a function"}
+	}
+	e.Fun.Sym = sym
+	e.Fun.SetType(sym.Type)
+	ft := sym.Type
+	if len(e.Args) != len(ft.Params) {
+		return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("%s expects %d arguments, got %d", e.Fun.Name, len(ft.Params), len(e.Args))}
+	}
+	for i, arg := range e.Args {
+		at, err := c.exprRV(arg)
+		if err != nil {
+			return nil, err
+		}
+		want := ft.Params[i]
+		// Builtin pointer parameters accept any pointer type.
+		if sym.Kind == ast.SymBuiltin && want.Kind == ast.Pointer && want.Elem.Kind == ast.Void {
+			if at.Kind != ast.Pointer {
+				return nil, &Error{Pos: arg.Pos(), Msg: fmt.Sprintf("argument %d of %s must be a pointer", i+1, e.Fun.Name)}
+			}
+			continue
+		}
+		if err := c.assignable(at, want, arg.Pos()); err != nil {
+			return nil, err
+		}
+	}
+	return ft.Result, nil
+}
+
+// assignable reports whether a value of type from can be assigned to a
+// location of type to. Integer types interconvert freely (with truncation
+// or extension); pointers must match exactly, except that a literal 0 or a
+// cast supplies any pointer.
+func (c *checker) assignable(from, to *ast.Type, pos token.Pos) error {
+	if from.IsInteger() && to.IsInteger() {
+		return nil
+	}
+	if to.Kind == ast.Pointer && from.Kind == ast.Pointer {
+		if to.Elem.Equal(from.Elem) || to.Elem.Kind == ast.Void || from.Elem.Kind == ast.Void {
+			return nil
+		}
+	}
+	return &Error{Pos: pos, Msg: fmt.Sprintf("cannot assign %s to %s", from, to)}
+}
+
+func isZero(e ast.Expr) bool {
+	lit, ok := e.(*ast.IntLit)
+	return ok && lit.Val == 0
+}
+
+// promote applies the integer promotion: char becomes int.
+func promote(t *ast.Type) *ast.Type {
+	if t.Kind == ast.Char {
+		return ast.IntType
+	}
+	return t
+}
+
+// promote2 applies the usual arithmetic conversions: char promotes to int;
+// if either operand is uint, the result is uint.
+func promote2(a, b *ast.Type) *ast.Type {
+	a, b = promote(a), promote(b)
+	if a.Kind == ast.Uint || b.Kind == ast.Uint {
+		return ast.UintType
+	}
+	return ast.IntType
+}

@@ -1,0 +1,170 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"flowcheck/internal/lang/ast"
+	"flowcheck/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) (*ast.File, error) {
+	t.Helper()
+	f, err := parser.Parse("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f, Check(f)
+}
+
+func mustCheck(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return f
+}
+
+func wantErr(t *testing.T, src, msg string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil || !strings.Contains(err.Error(), msg) {
+		t.Fatalf("err = %v, want contains %q\n%s", err, msg, src)
+	}
+}
+
+func TestResolutionAnnotatesSymbols(t *testing.T) {
+	f := mustCheck(t, `
+int g;
+int add(int a, int b) { return a + b; }
+int main() { return add(g, 2); }`)
+	if f.Globals[0].Sym == nil || f.Globals[0].Sym.Kind != ast.SymGlobal {
+		t.Fatal("global symbol missing")
+	}
+	if f.Funcs[0].Sym == nil || f.Funcs[0].Sym.Type.Kind != ast.Func {
+		t.Fatal("function symbol missing")
+	}
+	if f.Funcs[0].Params[0].Sym.Kind != ast.SymParam {
+		t.Fatal("param symbol missing")
+	}
+}
+
+func TestExpressionTypes(t *testing.T) {
+	f := mustCheck(t, `
+int main() {
+    char c; uint u; int i; int *p; int a[4];
+    c = 'x';
+    i = c + 1;      // char promotes to int
+    u = u + i;      // mixed -> uint
+    p = a;          // array decays
+    i = p - p;      // pointer difference -> int
+    i = *p;
+    return (a[2] < i) + (p == a);
+}`)
+	_ = f
+}
+
+func TestScopes(t *testing.T) {
+	mustCheck(t, `
+int x;
+int main() {
+    int x;      // shadows the global
+    { int x; x = 1; }
+    x = 2;
+    return x;
+}`)
+	wantErr(t, `int main() { { int y; } return y; }`, "undeclared")
+}
+
+func TestBuiltinChecking(t *testing.T) {
+	mustCheck(t, `
+int main() {
+    char buf[4]; int n;
+    int *ip; uint *up;
+    n = read_secret(buf, 4);      // char* accepted
+    __secret(ip, 4);              // any pointer accepted
+    __declassify(up, 4);
+    write_out(buf, n);
+    putc(65);
+    __flownote();
+    exit(0);
+    return 0;
+}`)
+	wantErr(t, `int main() { read_secret(3, 4); return 0; }`, "must be a pointer")
+	wantErr(t, `int main() { putc(); return 0; }`, "expects 1 arguments")
+	wantErr(t, `int main() { __flownote(1); return 0; }`, "expects 0 arguments")
+}
+
+func TestTypeErrors(t *testing.T) {
+	wantErr(t, `int main() { int *p; char *q; p = q; return 0; }`, "cannot assign")
+	wantErr(t, `int main() { int x; x[3] = 1; return 0; }`, "not a pointer or array")
+	wantErr(t, `int main() { int a[3]; int b[3]; a = b; return 0; }`, "cannot assign to an array")
+	wantErr(t, `int main() { int *p; return p + p; }`, "invalid operands")
+	wantErr(t, `int main() { int *p; char *q; return p - q; }`, "incompatible pointers")
+	wantErr(t, `int main() { void f; return 0; }`, "void type")
+	wantErr(t, `int f() { return 1; } int main() { f = 3; return 0; }`, "not assignable")
+	wantErr(t, `int main() { int x; return x(); }`, "not a function")
+	wantErr(t, `void f() { } int main() { int x; x = f(); return 0; }`, "cannot assign")
+}
+
+func TestReturnChecking(t *testing.T) {
+	wantErr(t, `int f() { return; } int main() { return 0; }`, "missing return value")
+	wantErr(t, `void f() { return 3; } int main() { return 0; }`, "return with value")
+	mustCheck(t, `void f() { return; } int main() { return 0; }`)
+}
+
+func TestPointerZeroLiteral(t *testing.T) {
+	mustCheck(t, `int main() { int *p; p = (int*)0; return p == 0; }`)
+}
+
+func TestEncloseRules(t *testing.T) {
+	// Single-exit enforcement.
+	wantErr(t, `int main() { int x; __enclose(x) { return 1; } return 0; }`, "single-exit")
+	wantErr(t, `int main() { int x; while (1) { __enclose(x) { break; } } return 0; }`, "boundary")
+	wantErr(t, `int main() { int x; while (1) { __enclose(x) { continue; } } return 0; }`, "boundary")
+	// Loops wholly inside the region are fine.
+	mustCheck(t, `int main() { int x; __enclose(x) { while (1) break; } return 0; }`)
+	// Output must be addressable.
+	wantErr(t, `int main() { int x; __enclose(x+1) { } return 0; }`, "not assignable")
+	// Range form needs a pointer and an integer length.
+	wantErr(t, `int main() { int x; __enclose(x : 4) { } return 0; }`, "must be a pointer")
+	mustCheck(t, `int main() { char b[8]; __enclose(b : 8) { } return 0; }`)
+}
+
+func TestCompoundAssignRules(t *testing.T) {
+	mustCheck(t, `int main() { int *p; int a[4]; p = a; p += 2; p -= 1; return *p; }`)
+	wantErr(t, `int main() { int *p; p *= 2; return 0; }`, "invalid compound assignment")
+	wantErr(t, `int main() { int *p; int *q; p += q; return 0; }`, "invalid compound assignment")
+}
+
+func TestSwitchRules(t *testing.T) {
+	wantErr(t, `int main() { switch (1) { default: ; default: ; } return 0; }`, "multiple default")
+	wantErr(t, `int main() { switch (1) { case 2: ; case 2: ; } return 0; }`, "duplicate case")
+	wantErr(t, `int main() { int *p; switch (p) { case 1: ; } return 0; }`, "must be an integer")
+}
+
+func TestNoMain(t *testing.T) {
+	wantErr(t, `int f() { return 0; }`, "no main")
+}
+
+func TestRedefinitions(t *testing.T) {
+	wantErr(t, `int x; int x; int main() { return 0; }`, "redefinition")
+	wantErr(t, `int f() { return 0; } int f() { return 1; } int main() { return 0; }`, "redefinition")
+	wantErr(t, `int main(int a, int a) { return 0; }`, "redefinition")
+}
+
+func TestTernaryTypeMerge(t *testing.T) {
+	mustCheck(t, `int main() { int i; char c; uint u; u = 1 ? i : c; return 0; }`)
+	wantErr(t, `int main() { int *p; int i; return 1 ? p : i; }`, "mismatched ternary")
+	mustCheck(t, `int main() { int *p; int *q; p = 1 ? p : q; return 0; }`)
+}
+
+func TestIsBuiltin(t *testing.T) {
+	if !IsBuiltin("read_secret") || !IsBuiltin("__flownote") {
+		t.Fatal("builtins not recognized")
+	}
+	if IsBuiltin("main") || IsBuiltin("strlen") {
+		t.Fatal("non-builtins misclassified")
+	}
+}

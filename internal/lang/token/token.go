@@ -1,0 +1,159 @@
+// Package token defines the lexical tokens of MiniC, the small C-like
+// guest language this reproduction uses in place of the paper's C/C++
+// case-study sources.
+//
+// MiniC exists because the paper's analysis runs over compiled machine code:
+// we need realistic guest programs (with loops, pointers, arrays, implicit
+// flows, and enclosure-region annotations) compiled down to the vm package's
+// instruction set. The language is deliberately a C subset plus the paper's
+// ENTER_ENCLOSE/LEAVE_ENCLOSE annotations as a structured statement.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Int    // integer literal (decimal, hex, or char)
+	String // string literal
+
+	// Keywords.
+	KwInt
+	KwUint
+	KwChar
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSwitch
+	KwCase
+	KwDefault
+	KwSizeof
+	KwEnclose // __enclose
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Colon
+	Question
+
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	PlusPlus
+	MinusMinus
+
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Int: "integer", String: "string",
+	KwInt: "int", KwUint: "uint", KwChar: "char", KwVoid: "void",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for", KwDo: "do",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwSizeof: "sizeof", KwEnclose: "__enclose",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Colon: ":", Question: "?",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+	PlusPlus: "++", MinusMinus: "--",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=", SlashAssign: "/=",
+	PercentAssign: "%=", AmpAssign: "&=", PipeAssign: "|=", CaretAssign: "^=",
+	ShlAssign: "<<=", ShrAssign: ">>=",
+}
+
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "uint": KwUint, "unsigned": KwUint, "char": KwChar,
+	"void": KwVoid, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "do": KwDo, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "sizeof": KwSizeof, "__enclose": KwEnclose,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier spelling or raw literal text
+	Val  int64  // value of an Int token
+	Str  string // decoded value of a String token
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return fmt.Sprintf("ident %q", t.Text)
+	case Int:
+		return fmt.Sprintf("int %d", t.Val)
+	case String:
+		return fmt.Sprintf("string %q", t.Str)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,55 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF: "EOF", Ident: "identifier", KwEnclose: "__enclose",
+		ShlAssign: "<<=", AndAnd: "&&", LBrace: "{",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	if Keywords["unsigned"] != KwUint {
+		t.Error("unsigned should alias uint")
+	}
+	if Keywords["__enclose"] != KwEnclose {
+		t.Error("__enclose missing")
+	}
+	if _, ok := Keywords["banana"]; ok {
+		t.Error("non-keyword present")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "a.mc", Line: 3, Col: 7}
+	if p.String() != "a.mc:3:7" {
+		t.Errorf("Pos = %q", p)
+	}
+	p.File = ""
+	if p.String() != "3:7" {
+		t.Errorf("fileless Pos = %q", p)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: Ident, Text: "foo"}, `ident "foo"`},
+		{Token{Kind: Int, Val: 42}, "int 42"},
+		{Token{Kind: String, Str: "hi"}, `string "hi"`},
+		{Token{Kind: Semi}, ";"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token.String() = %q, want %q", got, c.want)
+		}
+	}
+}

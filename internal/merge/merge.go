@@ -1,0 +1,91 @@
+// Package merge combines flow graphs from multiple executions into a single
+// graph whose maximum flow is a sound bound for the whole set of runs
+// (paper §3.2).
+//
+// Independently-analyzed runs can be individually sound but jointly
+// inconsistent: each run's minimum cut may fall in a different place,
+// which amounts to using a different code per run and can violate Kraft's
+// inequality. Merging identifies edges that carry the same label (static
+// code location plus optional calling-context hash) across runs, sums their
+// capacities, and unifies their endpoints with a union-find structure —
+// after which any cut is consistently placed for every run at once.
+package merge
+
+import (
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/unionfind"
+)
+
+// Graphs merges any number of labelled flow graphs. Edges with identical
+// labels are replaced by a single edge whose capacity is the (saturating)
+// sum of the originals, and the nodes those edges connect are unified.
+// Unlabelled edges (Label zero value apart from Kind) merge like any
+// others; graphs built in exact mode carry unique labels and therefore
+// merge side by side without unification.
+func Graphs(graphs ...*flowgraph.Graph) *flowgraph.Graph {
+	uf := unionfind.New(0)
+	srcEl := uf.MakeSet()
+	sinkEl := uf.MakeSet()
+
+	type accEdge struct {
+		from, to int
+		cap      int64
+	}
+	edges := map[flowgraph.Label]*accEdge{}
+	var order []flowgraph.Label
+
+	for _, g := range graphs {
+		// Fresh elements for this graph's nodes, with Source and Sink
+		// mapped to the shared elements.
+		local := make([]int, g.NumNodes())
+		for i := range local {
+			local[i] = -1
+		}
+		local[flowgraph.Source] = srcEl
+		local[flowgraph.Sink] = sinkEl
+		el := func(n flowgraph.NodeID) int {
+			if local[n] < 0 {
+				local[n] = uf.MakeSet()
+			}
+			return local[n]
+		}
+		for _, e := range g.Edges {
+			from, to := el(e.From), el(e.To)
+			if acc, ok := edges[e.Label]; ok {
+				acc.cap += e.Cap
+				if acc.cap > flowgraph.Inf {
+					acc.cap = flowgraph.Inf
+				}
+				uf.Union(acc.from, from)
+				uf.Union(acc.to, to)
+				continue
+			}
+			edges[e.Label] = &accEdge{from: from, to: to, cap: e.Cap}
+			order = append(order, e.Label)
+		}
+	}
+
+	out := flowgraph.New()
+	nodeOf := map[int]flowgraph.NodeID{
+		uf.Find(srcEl):  flowgraph.Source,
+		uf.Find(sinkEl): flowgraph.Sink,
+	}
+	get := func(el int) flowgraph.NodeID {
+		c := uf.Find(el)
+		if n, ok := nodeOf[c]; ok {
+			return n
+		}
+		n := out.AddNode()
+		nodeOf[c] = n
+		return n
+	}
+	for _, lbl := range order {
+		e := edges[lbl]
+		from, to := get(e.from), get(e.to)
+		if from == to || from == flowgraph.Sink || to == flowgraph.Source {
+			continue
+		}
+		out.AddEdge(from, to, e.cap, lbl)
+	}
+	return out
+}

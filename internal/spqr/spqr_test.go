@@ -1,0 +1,162 @@
+package spqr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/maxflow"
+)
+
+func TestSeriesChainCollapses(t *testing.T) {
+	g := flowgraph.New()
+	prev := flowgraph.Source
+	for i := 0; i < 10; i++ {
+		n := g.AddNode()
+		g.AddEdge(prev, n, int64(10+i), flowgraph.Label{})
+		prev = n
+	}
+	g.AddEdge(prev, flowgraph.Sink, 5, flowgraph.Label{})
+	red, st := Reduce(g)
+	if red.NumEdges() != 1 {
+		t.Fatalf("chain should collapse to one edge, got %d", red.NumEdges())
+	}
+	if red.Edges[0].Cap != 5 {
+		t.Fatalf("series capacity = %d, want 5 (min)", red.Edges[0].Cap)
+	}
+	if st.SeriesOps == 0 {
+		t.Fatal("no series reductions recorded")
+	}
+}
+
+func TestParallelEdgesMerge(t *testing.T) {
+	g := flowgraph.New()
+	for i := 0; i < 4; i++ {
+		g.AddEdge(flowgraph.Source, flowgraph.Sink, 3, flowgraph.Label{})
+	}
+	red, st := Reduce(g)
+	if red.NumEdges() != 1 || red.Edges[0].Cap != 12 {
+		t.Fatalf("parallel merge wrong: %d edges, cap %v", red.NumEdges(), red.Edges)
+	}
+	if st.ParallelOps != 3 {
+		t.Fatalf("ParallelOps = %d, want 3", st.ParallelOps)
+	}
+}
+
+func TestDeadEndRemoved(t *testing.T) {
+	g := flowgraph.New()
+	a := g.AddNode()
+	dead := g.AddNode()
+	g.AddEdge(flowgraph.Source, a, 8, flowgraph.Label{})
+	g.AddEdge(a, flowgraph.Sink, 8, flowgraph.Label{})
+	g.AddEdge(a, dead, 8, flowgraph.Label{}) // leads nowhere
+	red, _ := Reduce(g)
+	for _, e := range red.Edges {
+		if e.To != flowgraph.Sink && e.From != flowgraph.Source && e.To == e.From {
+			t.Fatalf("unexpected edge %+v", e)
+		}
+	}
+	// The whole thing is series-parallel: must reduce to a single s-t edge.
+	if red.NumEdges() != 1 || red.Edges[0].Cap != 8 {
+		t.Fatalf("expected single 8-cap edge, got %+v", red.Edges)
+	}
+}
+
+func TestDiamondReduces(t *testing.T) {
+	// source -> a -> sink via two parallel interior paths: fully SP.
+	g := flowgraph.New()
+	a, b := g.AddNode(), g.AddNode()
+	g.AddEdge(flowgraph.Source, a, 10, flowgraph.Label{})
+	g.AddEdge(flowgraph.Source, b, 10, flowgraph.Label{})
+	g.AddEdge(a, flowgraph.Sink, 4, flowgraph.Label{})
+	g.AddEdge(b, flowgraph.Sink, 3, flowgraph.Label{})
+	red, _ := Reduce(g)
+	if red.NumEdges() != 1 || red.Edges[0].Cap != 7 {
+		t.Fatalf("diamond should reduce to one 7-cap edge: %+v", red.Edges)
+	}
+}
+
+func TestNonSPCoreRemains(t *testing.T) {
+	// K4-like crossing structure is not series-parallel reducible.
+	g := flowgraph.New()
+	a, b, c, d := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(flowgraph.Source, a, 1, flowgraph.Label{})
+	g.AddEdge(flowgraph.Source, b, 1, flowgraph.Label{})
+	g.AddEdge(a, c, 1, flowgraph.Label{})
+	g.AddEdge(a, d, 1, flowgraph.Label{})
+	g.AddEdge(b, c, 1, flowgraph.Label{})
+	g.AddEdge(b, d, 1, flowgraph.Label{})
+	g.AddEdge(c, flowgraph.Sink, 1, flowgraph.Label{})
+	g.AddEdge(d, flowgraph.Sink, 1, flowgraph.Label{})
+	red, st := Reduce(g)
+	if red.NumEdges() < 4 {
+		t.Fatalf("crossing core should not fully reduce: %d edges", red.NumEdges())
+	}
+	if st.CoreFraction <= 0 || st.CoreFraction > 1 {
+		t.Fatalf("CoreFraction = %v", st.CoreFraction)
+	}
+}
+
+func randomDAG(rng *rand.Rand, nodes, edges int) *flowgraph.Graph {
+	g := flowgraph.New()
+	ids := []flowgraph.NodeID{flowgraph.Source}
+	for i := 0; i < nodes; i++ {
+		ids = append(ids, g.AddNode())
+	}
+	ids = append(ids, flowgraph.Sink)
+	for i := 0; i < edges; i++ {
+		a := rng.Intn(len(ids) - 1)
+		b := a + 1 + rng.Intn(len(ids)-a-1)
+		g.AddEdge(ids[a], ids[b], int64(rng.Intn(20)), flowgraph.Label{})
+	}
+	return g
+}
+
+// Property: reduction preserves the Source-Sink maximum flow.
+func TestReductionPreservesMaxFlow(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), rng.Intn(160))
+		want := maxflow.Compute(g, maxflow.Dinic).Flow
+		red, _ := Reduce(g)
+		got := maxflow.Compute(red, maxflow.Dinic).Flow
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reduction is a fixpoint (reducing twice changes nothing more).
+func TestReductionIdempotent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(30), rng.Intn(100))
+		r1, _ := Reduce(g)
+		r2, st2 := Reduce(r1)
+		return r2.NumEdges() == r1.NumEdges() && st2.SeriesOps == 0 && st2.ParallelOps == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(3)), 30, 100)
+	_, st := Reduce(g)
+	if st.OrigNodes != g.NumNodes() || st.OrigEdges != g.NumEdges() {
+		t.Fatalf("orig stats wrong: %+v", st)
+	}
+	if st.ReducedEdges > st.OrigEdges {
+		t.Fatalf("reduction grew the graph: %+v", st)
+	}
+}
+
+func BenchmarkReduceRandom(b *testing.B) {
+	g := randomDAG(rand.New(rand.NewSource(1)), 5000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reduce(g)
+	}
+}

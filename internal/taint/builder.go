@@ -1,0 +1,147 @@
+package taint
+
+import (
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/unionfind"
+)
+
+// builder incrementally constructs a flow graph during execution.
+//
+// It implements both construction modes of paper §4.2/§5.2 with one
+// mechanism. Every runtime value is a pair of union-find elements (the two
+// halves of a split node); every edge carries a Label. In collapsed mode,
+// edges with the same label are merged: their capacities accumulate and
+// their endpoints' classes are unioned — the paper's almost-linear-time
+// combination using a union-find structure (§3.2). In exact mode every edge
+// is given a unique label, so no merging occurs and the graph reflects each
+// dynamic operation individually.
+//
+// Value pairs are canonicalized per label in collapsed mode, so the
+// builder's memory grows with code coverage (the number of distinct
+// labels), not with run time — the property §5.2 relies on for analyzing
+// long executions.
+type builder struct {
+	uf    *unionfind.UF
+	edges map[flowgraph.Label]*accEdge
+	order []flowgraph.Label
+
+	srcEl, sinkEl int32
+
+	exact  bool
+	serial uint64
+
+	// canonVal maps a site label to its canonical value pair (collapsed
+	// mode only).
+	canonVal map[flowgraph.Label]valPair
+
+	implicitEdges int
+}
+
+type accEdge struct {
+	from, to int32
+	cap      int64
+}
+
+type valPair struct {
+	in, out int32
+}
+
+func newBuilder(exact bool) *builder {
+	b := &builder{
+		uf:       unionfind.New(0),
+		edges:    map[flowgraph.Label]*accEdge{},
+		canonVal: map[flowgraph.Label]valPair{},
+		exact:    exact,
+	}
+	b.srcEl = int32(b.uf.MakeSet())
+	b.sinkEl = int32(b.uf.MakeSet())
+	return b
+}
+
+// element allocates a fresh graph element (used for region and chain nodes).
+func (b *builder) element() int32 { return int32(b.uf.MakeSet()) }
+
+func satAdd(a, c int64) int64 {
+	s := a + c
+	if s > flowgraph.Inf {
+		return flowgraph.Inf
+	}
+	return s
+}
+
+// addEdge records an information channel of cap bits from element `from` to
+// element `to` under the given label.
+func (b *builder) addEdge(from, to int32, cap int64, lbl flowgraph.Label) {
+	if lbl.Kind == flowgraph.KindImplicit {
+		b.implicitEdges++
+	}
+	if b.exact {
+		b.serial++
+		lbl.Ctx = b.serial
+	}
+	if e, ok := b.edges[lbl]; ok {
+		e.cap = satAdd(e.cap, cap)
+		b.uf.Union(int(e.from), int(from))
+		b.uf.Union(int(e.to), int(to))
+		return
+	}
+	b.edges[lbl] = &accEdge{from: from, to: to, cap: cap}
+	b.order = append(b.order, lbl)
+}
+
+// value creates (or, in collapsed mode, re-finds) the split node pair for a
+// value produced at the given site label, charging capBits to its internal
+// edge. Producers attach edges to in; consumers read from out.
+func (b *builder) value(lbl flowgraph.Label, capBits int64) (in, out int32) {
+	lbl.Kind = flowgraph.KindInternal
+	if !b.exact {
+		if vp, ok := b.canonVal[lbl]; ok {
+			e := b.edges[lbl]
+			e.cap = satAdd(e.cap, capBits)
+			return vp.in, vp.out
+		}
+	}
+	in = b.element()
+	out = b.element()
+	b.addEdge(in, out, capBits, lbl)
+	if !b.exact {
+		b.canonVal[lbl] = valPair{in: in, out: out}
+	}
+	return in, out
+}
+
+// build assembles the current state into a flowgraph. It does not consume
+// the builder, so intermediate flows (§8.1's real-time mode) can be
+// computed mid-run.
+func (b *builder) build() *flowgraph.Graph {
+	g := flowgraph.New()
+	nodeOf := map[int]flowgraph.NodeID{
+		b.uf.Find(int(b.srcEl)):  flowgraph.Source,
+		b.uf.Find(int(b.sinkEl)): flowgraph.Sink,
+	}
+	get := func(el int32) flowgraph.NodeID {
+		c := b.uf.Find(int(el))
+		if n, ok := nodeOf[c]; ok {
+			return n
+		}
+		n := g.AddNode()
+		nodeOf[c] = n
+		return n
+	}
+	for _, lbl := range b.order {
+		e := b.edges[lbl]
+		from, to := get(e.from), get(e.to)
+		if from == to || from == flowgraph.Sink || to == flowgraph.Source {
+			// Self-loops carry no s-t flow; edges out of the sink or into
+			// the source cannot arise from well-formed labels but are
+			// dropped defensively rather than corrupting the graph.
+			continue
+		}
+		cap := e.cap
+		if cap > flowgraph.Inf {
+			cap = flowgraph.Inf
+		}
+		g.AddEdge(from, to, cap, lbl)
+	}
+	return g
+}

@@ -1,0 +1,201 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowcheck/internal/bits"
+	"flowcheck/internal/vm"
+)
+
+func TestShadowByteRoundTrip(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setByte(0x1000, 7, 0xAB&0xFF)
+	el, m := s.get(0x1000)
+	if el != 7 || m != 0xAB {
+		t.Fatalf("get = (%d, %#x)", el, m)
+	}
+	// Unset bytes are public.
+	if el, m := s.get(0x1001); el != 0 || m != 0 {
+		t.Fatalf("default shadow not public: (%d, %#x)", el, m)
+	}
+}
+
+func TestShadowRangeBecomesDescriptor(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setRange(0x2000, 1000, 5, 0xFF)
+	if len(s.descs) != 1 {
+		t.Fatalf("descs = %d, want 1 (lazy path)", len(s.descs))
+	}
+	if el, m := s.get(0x2300); el != 5 || m != 0xFF {
+		t.Fatalf("descriptor read = (%d, %#x)", el, m)
+	}
+}
+
+func TestShadowShortRangeStaysPerByte(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setRange(0x2000, 4, 5, 0xFF)
+	if len(s.descs) != 0 {
+		t.Fatalf("short range should not create a descriptor")
+	}
+	if el, _ := s.get(0x2003); el != 5 {
+		t.Fatal("short range bytes not set")
+	}
+}
+
+func TestShadowExceptions(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setRange(0x2000, 1000, 5, 0xFF)
+	s.setByte(0x2100, 9, 0x0F)
+	if el, m := s.get(0x2100); el != 9 || m != 0x0F {
+		t.Fatalf("exception read = (%d, %#x)", el, m)
+	}
+	if el, _ := s.get(0x2101); el != 5 {
+		t.Fatal("neighbor clobbered by exception")
+	}
+}
+
+func TestShadowExceptionOverflowFlushes(t *testing.T) {
+	s := newShadowMem(0, 5)
+	s.setRange(0x2000, 1000, 5, 0xFF)
+	// Exceptions in the second half cannot be shrunk away, forcing
+	// elimination once the budget is exceeded.
+	for i := 0; i < 6; i++ {
+		s.setByte(0x2000+500+vm.Word(i), 9, 0x01)
+	}
+	if len(s.descs) != 0 {
+		t.Fatalf("descriptor should be eliminated, have %d", len(s.descs))
+	}
+	// Values must survive the flush.
+	if el, _ := s.get(0x2001); el != 5 {
+		t.Fatal("flush lost descriptor value")
+	}
+	if el, _ := s.get(0x2000 + 502); el != 9 {
+		t.Fatal("flush lost exception value")
+	}
+}
+
+func TestShadowShrinkWhenExceptionsInFirstHalf(t *testing.T) {
+	s := newShadowMem(0, 4)
+	s.setRange(0x2000, 1000, 5, 0xFF)
+	for i := 0; i < 6; i++ {
+		s.setByte(0x2000+vm.Word(i), 9, 0x01)
+	}
+	if len(s.descs) != 1 {
+		t.Fatalf("descriptor should shrink, not vanish: %d", len(s.descs))
+	}
+	d := s.descs[0]
+	if d.start <= 0x2005 {
+		t.Fatalf("descriptor did not shrink: start=%#x", d.start)
+	}
+	// Both halves still read correctly.
+	if el, _ := s.get(0x2002); el != 9 {
+		t.Fatal("first-half exception lost")
+	}
+	if el, _ := s.get(0x2300); el != 5 {
+		t.Fatal("second-half descriptor value lost")
+	}
+}
+
+func TestShadowOverwriteRange(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setRange(0x2000, 100, 5, 0xFF)
+	s.setRange(0x2000, 100, 0, 0) // declassify
+	if el, m := s.get(0x2050); el != 0 || m != 0 {
+		t.Fatalf("overwrite failed: (%d, %#x)", el, m)
+	}
+}
+
+func TestRangeRunsCoalesce(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setByte(0x1000, 3, 0xFF)
+	s.setByte(0x1001, 3, 0x0F)
+	s.setByte(0x1002, 4, 0xFF)
+	runs := s.rangeRuns(0x1000, 4)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %+v, want 3 (el 3, el 4, el 0)", runs)
+	}
+	if runs[0].el != 3 || runs[0].n != 2 || runs[0].maskSum != 12 {
+		t.Fatalf("run 0 = %+v", runs[0])
+	}
+	if runs[1].el != 4 || runs[1].maskSum != 8 {
+		t.Fatalf("run 1 = %+v", runs[1])
+	}
+	if runs[2].el != 0 {
+		t.Fatalf("run 2 = %+v", runs[2])
+	}
+}
+
+func TestRangeRunsDescriptorFastPath(t *testing.T) {
+	s := newShadowMem(0, 0)
+	s.setRange(0x4000, 10000, 7, 0xFF)
+	runs := s.rangeRuns(0x4000, 10000)
+	if len(runs) != 1 || runs[0].el != 7 || runs[0].maskSum != 80000 {
+		t.Fatalf("fast path runs = %+v", runs)
+	}
+}
+
+// Property: a shadow memory driven by random byte/range operations always
+// agrees with a naive per-byte reference model.
+func TestShadowMatchesReferenceModel(t *testing.T) {
+	type cell struct {
+		el int32
+		m  uint8
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newShadowMem(4, 6) // small limits to stress shrink/flush
+		ref := map[vm.Word]cell{}
+		base := vm.Word(0x1000)
+		const span = 4096
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // byte write
+				a := base + vm.Word(rng.Intn(span))
+				el, m := int32(rng.Intn(5)), uint8(rng.Intn(256))
+				if el == 0 {
+					m = 0
+				}
+				s.setByte(a, el, bits.Mask(m))
+				ref[a] = cell{el, m}
+			case 1: // range write
+				a := base + vm.Word(rng.Intn(span))
+				n := rng.Intn(200) + 1
+				el, m := int32(rng.Intn(5)), uint8(rng.Intn(256))
+				if el == 0 {
+					m = 0
+				}
+				s.setRange(a, n, el, bits.Mask(m))
+				for i := 0; i < n; i++ {
+					ref[a+vm.Word(i)] = cell{el, m}
+				}
+			case 2: // read check
+				a := base + vm.Word(rng.Intn(span))
+				el, m := s.get(a)
+				want := ref[a]
+				if el != want.el || uint8(m) != want.m {
+					return false
+				}
+			}
+		}
+		// Full sweep at the end.
+		for a, want := range ref {
+			el, m := s.get(a)
+			if el != want.el || uint8(m) != want.m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkShadowRangeRetagLazy(b *testing.B) {
+	s := newShadowMem(0, 0)
+	for i := 0; i < b.N; i++ {
+		s.setRange(0x10000, 1<<16, int32(i+1), 0xFF)
+	}
+}

@@ -1,0 +1,82 @@
+// Package unionfind provides a disjoint-set (union-find) structure with
+// path compression and union by rank.
+//
+// The taint engine and the multi-run graph merger (paper §3.2, §5.2) use it
+// to identify flow-graph nodes that share an edge label: for each edge
+// (u, v) at location l, the sets containing u and the placeholder "source of
+// edges at l" are merged, and similarly for v and "target of edges at l".
+package unionfind
+
+// UF is a union-find structure over dense integer elements. New elements are
+// created on demand by Find or Union; the zero value is ready to use.
+type UF struct {
+	parent []int32
+	rank   []uint8
+	sets   int
+}
+
+// New returns a union-find structure with n initial singleton elements.
+func New(n int) *UF {
+	u := &UF{}
+	u.Grow(n)
+	return u
+}
+
+// Grow ensures elements [0, n) exist.
+func (u *UF) Grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, int32(len(u.parent)))
+		u.rank = append(u.rank, 0)
+		u.sets++
+	}
+}
+
+// Len reports the number of elements.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets reports the number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// MakeSet creates a fresh singleton element and returns its id.
+func (u *UF) MakeSet() int {
+	id := len(u.parent)
+	u.Grow(id + 1)
+	return id
+}
+
+// Find returns the representative of x, growing the structure if x is new.
+func (u *UF) Find(x int) int {
+	u.Grow(x + 1)
+	root := x
+	for u.parent[root] != int32(root) {
+		root = int(u.parent[root])
+	}
+	// Path compression.
+	for x != root {
+		next := int(u.parent[x])
+		u.parent[x] = int32(root)
+		x = next
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and returns the representative of
+// the merged set.
+func (u *UF) Union(x, y int) int {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return rx
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return rx
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UF) Same(a, b int) bool { return u.Find(a) == u.Find(b) }

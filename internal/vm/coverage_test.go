@@ -1,0 +1,158 @@
+package vm
+
+// Additional instruction-set coverage: corners of the ISA the main test
+// file doesn't reach.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNopAndMovChains(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpNop},
+		Instr{Op: OpConst, A: R1, Imm: 9},
+		Instr{Op: OpNop},
+		Instr{Op: OpMov, A: R2, B: R1},
+		Instr{Op: OpMov, A: R0, B: R2},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 9 {
+		t.Fatalf("exit = %d", m.ExitCode)
+	}
+}
+
+func TestInsBPreservesOtherBytes(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R0, Imm: 0x11223344},
+		Instr{Op: OpConst, A: R1, Imm: 0xAB},
+		Instr{Op: OpInsB, A: R0, B: R1, Imm: 2}, // byte 2 <- 0xAB
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0x11AB3344 {
+		t.Fatalf("InsB = %#x", m.ExitCode)
+	}
+}
+
+func TestExtBIndexMasking(t *testing.T) {
+	// Imm beyond 3 wraps mod 4, mirroring how hardware sub-registers alias.
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 0x11223344},
+		Instr{Op: OpExtB, A: R0, B: R1, Imm: 5}, // 5 & 3 = 1 -> 0x33
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0x33 {
+		t.Fatalf("ExtB wrap = %#x", m.ExitCode)
+	}
+}
+
+func TestSignedDivisionOverflowDefined(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: -2147483648},
+		Instr{Op: OpConst, A: R2, Imm: -1},
+		Instr{Op: OpDivS, A: R0, B: R1, C: R2},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0x80000000 {
+		t.Fatalf("INT_MIN / -1 = %#x, want defined wrap", m.ExitCode)
+	}
+	m = run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: -2147483648},
+		Instr{Op: OpConst, A: R2, Imm: -1},
+		Instr{Op: OpModS, A: R0, B: R1, C: R2},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0 {
+		t.Fatalf("INT_MIN %% -1 = %#x, want 0", m.ExitCode)
+	}
+}
+
+func TestStore16(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpConst, A: R2, Imm: int32(0xCAFEBABE - 0x100000000)},
+		Instr{Op: OpStore, A: R1, B: R2, W: 2},
+		Instr{Op: OpLoad, A: R0, B: R1, W: 4},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0xBABE {
+		t.Fatalf("16-bit store = %#x", m.ExitCode)
+	}
+}
+
+func TestMarkSecretOutOfBoundsTraps(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: 0},
+		Instr{Op: OpConst, A: R2, Imm: 100},
+		Instr{Op: OpSys, Imm: SysMarkSecret},
+	)
+	m := NewMachineSize(p, 1<<16)
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadEnclosureDescriptorTraps(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpSys, Imm: SysEnterRegion},
+	)
+	p.Data = []byte{0xFF, 0xFF, 0xFF, 0xFF} // absurd count
+	m := NewMachineSize(p, 1<<16)
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "descriptor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteToInvalidFdStillPublicOutput(t *testing.T) {
+	// The VM models a single public output; any fd goes there.
+	p := prog(
+		Instr{Op: OpConst, A: R0, Imm: 7},
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpConst, A: R2, Imm: 2},
+		Instr{Op: OpSys, Imm: SysWrite},
+		Instr{Op: OpHalt},
+	)
+	p.Data = []byte("ok")
+	m := NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Output) != "ok" {
+		t.Fatalf("output = %q", m.Output)
+	}
+}
+
+func TestJmpIndOutOfRangeTraps(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: 9999},
+		Instr{Op: OpJmpInd, A: R1},
+	)
+	m := NewMachineSize(p, 1<<16)
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "program counter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBytesAccessor(t *testing.T) {
+	p := prog(Instr{Op: OpHalt})
+	p.Data = []byte("hello")
+	m := NewMachineSize(p, 1<<16)
+	if got := m.Bytes(DataBase, 5); string(got) != "hello" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if m.Bytes(0, 4) != nil {
+		t.Fatal("unmapped range should return nil")
+	}
+	if m.Bytes(DataBase, -1) != nil {
+		t.Fatal("negative length should return nil")
+	}
+}
+
+func TestOpStringsTotal(t *testing.T) {
+	for op := OpNop; op <= OpHalt; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Fatalf("opcode %d has no name", op)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// prog assembles a program from instructions with an empty data segment.
+func prog(code ...Instr) *Program {
+	return &Program{Code: code, Sites: []SiteInfo{{}}}
+}
+
+func run(t *testing.T, p *Program) *Machine {
+	t.Helper()
+	m := NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestConstMovHalt(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 42},
+		Instr{Op: OpMov, A: R0, B: R1},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42", m.ExitCode)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b Word
+		want Word
+	}{
+		{OpAdd, 3, 4, 7},
+		{OpSub, 3, 4, 0xFFFFFFFF},
+		{OpMul, 6, 7, 42},
+		{OpDivU, 42, 5, 8},
+		{OpModU, 42, 5, 2},
+		{OpDivS, Word(0xFFFFFFF8) /* -8 */, 3, Word(0xFFFFFFFE) /* -2 */},
+		{OpModS, Word(0xFFFFFFF8), 3, Word(0xFFFFFFFE)},
+		{OpAnd, 0xFF0F, 0x0FF0, 0x0F00},
+		{OpOr, 0xF0, 0x0F, 0xFF},
+		{OpXor, 0xFF, 0x0F, 0xF0},
+		{OpShl, 1, 8, 256},
+		{OpShrU, 0x80000000, 31, 1},
+		{OpShrS, 0x80000000, 31, 0xFFFFFFFF},
+		{OpCmpEQ, 5, 5, 1},
+		{OpCmpNE, 5, 5, 0},
+		{OpCmpLTS, 0xFFFFFFFF, 0, 1}, // -1 < 0 signed
+		{OpCmpLTU, 0xFFFFFFFF, 0, 0},
+		{OpCmpLES, 7, 7, 1},
+		{OpCmpLEU, 8, 7, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.op.String(), func(t *testing.T) {
+			m := run(t, prog(
+				Instr{Op: OpConst, A: R1, Imm: int32(c.a)},
+				Instr{Op: OpConst, A: R2, Imm: int32(c.b)},
+				Instr{Op: c.op, A: R0, B: R1, C: R2},
+				Instr{Op: OpHalt},
+			))
+			if m.ExitCode != c.want {
+				t.Fatalf("%v(%#x,%#x) = %#x, want %#x", c.op, c.a, c.b, m.ExitCode, c.want)
+			}
+		})
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 1},
+		Instr{Op: OpNeg, A: R0, B: R1},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0xFFFFFFFF {
+		t.Fatalf("neg 1 = %#x", m.ExitCode)
+	}
+	m = run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 0},
+		Instr{Op: OpNot, A: R0, B: R1},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 0xFFFFFFFF {
+		t.Fatalf("not 0 = %#x", m.ExitCode)
+	}
+}
+
+func TestSubRegisterAccess(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: int32(0xAABBCCDD - 0x100000000)},
+		Instr{Op: OpExtB, A: R2, B: R1, Imm: 2}, // R2 = 0xBB
+		Instr{Op: OpConst, A: R3, Imm: 0x11},
+		Instr{Op: OpInsB, A: R1, B: R3, Imm: 0}, // R1 = 0xAABBCC11
+		Instr{Op: OpMov, A: R0, B: R1},
+		Instr{Op: OpHalt},
+	))
+	if m.Regs[R2] != 0xBB {
+		t.Errorf("ExtB = %#x, want 0xBB", m.Regs[R2])
+	}
+	if m.ExitCode != 0xAABBCC11 {
+		t.Errorf("InsB result = %#x, want 0xAABBCC11", m.ExitCode)
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	base := int32(DataBase)
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: base},
+		Instr{Op: OpConst, A: R2, Imm: int32(0x11223344)},
+		Instr{Op: OpStore, A: R1, B: R2, W: 4},
+		Instr{Op: OpLoad, A: R3, B: R1, W: 1},         // 0x44 (little-endian)
+		Instr{Op: OpLoad, A: R4, B: R1, W: 2, Imm: 1}, // 0x2233
+		Instr{Op: OpLoad, A: R5, B: R1, W: 4},
+		Instr{Op: OpHalt},
+	))
+	if m.Regs[R3] != 0x44 {
+		t.Errorf("byte load = %#x", m.Regs[R3])
+	}
+	if m.Regs[R4] != 0x2233 {
+		t.Errorf("halfword load with displacement = %#x", m.Regs[R4])
+	}
+	if m.Regs[R5] != 0x11223344 {
+		t.Errorf("word load = %#x", m.Regs[R5])
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// if (R1 == 0) R0 = 1 else R0 = 2
+	code := func(v int32) *Program {
+		return prog(
+			Instr{Op: OpConst, A: R1, Imm: v},
+			Instr{Op: OpJz, A: R1, Imm: 4},
+			Instr{Op: OpConst, A: R0, Imm: 2},
+			Instr{Op: OpJmp, Imm: 5},
+			Instr{Op: OpConst, A: R0, Imm: 1},
+			Instr{Op: OpHalt},
+		)
+	}
+	if m := run(t, code(0)); m.ExitCode != 1 {
+		t.Fatalf("jz not taken on zero: %d", m.ExitCode)
+	}
+	if m := run(t, code(7)); m.ExitCode != 2 {
+		t.Fatalf("jz taken on nonzero: %d", m.ExitCode)
+	}
+}
+
+func TestJmpInd(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 3},
+		Instr{Op: OpJmpInd, A: R1},
+		Instr{Op: OpHalt}, // skipped
+		Instr{Op: OpConst, A: R0, Imm: 9},
+		Instr{Op: OpHalt},
+	))
+	if m.ExitCode != 9 {
+		t.Fatalf("indirect jump failed: %d", m.ExitCode)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	// main: R0 = f(); halt. f: return 7 (via R0).
+	m := run(t, prog(
+		Instr{Op: OpCall, Imm: 2},
+		Instr{Op: OpHalt},
+		Instr{Op: OpConst, A: R0, Imm: 7}, // f:
+		Instr{Op: OpRet},
+	))
+	if m.ExitCode != 7 {
+		t.Fatalf("call/ret = %d, want 7", m.ExitCode)
+	}
+}
+
+func TestCallInd(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 3},
+		Instr{Op: OpCallInd, A: R1},
+		Instr{Op: OpHalt},
+		Instr{Op: OpConst, A: R0, Imm: 5}, // f:
+		Instr{Op: OpRet},
+	))
+	if m.ExitCode != 5 {
+		t.Fatalf("callind = %d", m.ExitCode)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R1, Imm: 11},
+		Instr{Op: OpConst, A: R2, Imm: 22},
+		Instr{Op: OpPush, B: R1},
+		Instr{Op: OpPush, B: R2},
+		Instr{Op: OpPop, A: R3},
+		Instr{Op: OpPop, A: R4},
+		Instr{Op: OpHalt},
+	))
+	if m.Regs[R3] != 22 || m.Regs[R4] != 11 {
+		t.Fatalf("push/pop LIFO wrong: %d %d", m.Regs[R3], m.Regs[R4])
+	}
+	if m.Regs[SP] != Word(1<<16) {
+		t.Fatalf("SP not restored: %#x", m.Regs[SP])
+	}
+}
+
+func TestReadWriteSyscalls(t *testing.T) {
+	p := prog(
+		// read(secret, DataBase, 5)
+		Instr{Op: OpConst, A: R0, Imm: StreamSecret},
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpConst, A: R2, Imm: 5},
+		Instr{Op: OpSys, Imm: SysRead},
+		// write(1, DataBase, R0) -- R0 has byte count from read
+		Instr{Op: OpMov, A: R2, B: R0},
+		Instr{Op: OpConst, A: R0, Imm: 1},
+		Instr{Op: OpSys, Imm: SysWrite},
+		Instr{Op: OpHalt},
+	)
+	m := NewMachineSize(p, 1<<16)
+	m.SecretIn = []byte("hello world")
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Output) != "hello" {
+		t.Fatalf("output = %q, want hello", m.Output)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R0, Imm: StreamPublic},
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpConst, A: R2, Imm: 100},
+		Instr{Op: OpSys, Imm: SysRead},
+		Instr{Op: OpHalt},
+	)
+	m := NewMachineSize(p, 1<<16)
+	m.PublicIn = []byte("abc")
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 0 && m.Regs[R0] != 3 {
+		t.Fatalf("short read = %d, want 3", m.Regs[R0])
+	}
+}
+
+func TestPutc(t *testing.T) {
+	m := run(t, prog(
+		Instr{Op: OpConst, A: R0, Imm: 'X'},
+		Instr{Op: OpSys, Imm: SysPutc},
+		Instr{Op: OpHalt},
+	))
+	if string(m.Output) != "X" {
+		t.Fatalf("putc output = %q", m.Output)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+		want string
+	}{
+		{"div-by-zero", prog(
+			Instr{Op: OpConst, A: R1, Imm: 1},
+			Instr{Op: OpConst, A: R2, Imm: 0},
+			Instr{Op: OpDivU, A: R0, B: R1, C: R2},
+		), "division by zero"},
+		{"load-oob", prog(
+			Instr{Op: OpConst, A: R1, Imm: 0},
+			Instr{Op: OpLoad, A: R0, B: R1, W: 4},
+		), "out of bounds"},
+		{"null-store", prog(
+			Instr{Op: OpConst, A: R1, Imm: 8},
+			Instr{Op: OpStore, A: R1, B: R0, W: 1},
+		), "out of bounds"},
+		{"pc-overrun", prog(
+			Instr{Op: OpNop},
+		), "program counter"},
+		{"stack-underflow", prog(
+			Instr{Op: OpRet},
+		), "underflow"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := NewMachineSize(c.p, 1<<16)
+			err := m.Run()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := prog(Instr{Op: OpJmp, Imm: 0})
+	m := NewMachineSize(p, 1<<16)
+	m.MaxSteps = 1000
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+func TestDataSegmentLoaded(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpLoad, A: R0, B: R1, W: 4},
+		Instr{Op: OpHalt},
+	)
+	p.Data = []byte{0x78, 0x56, 0x34, 0x12}
+	m := NewMachineSize(p, 1<<16)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 0x12345678 {
+		t.Fatalf("data segment = %#x", m.ExitCode)
+	}
+}
+
+func TestAfterInstrHook(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R0, Imm: 1},
+		Instr{Op: OpConst, A: R0, Imm: 2},
+		Instr{Op: OpHalt},
+	)
+	m := NewMachineSize(p, 1<<16)
+	var n int
+	m.AfterInstr = func(m *Machine, in *Instr) { n++ }
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("AfterInstr fired %d times, want 3", n)
+	}
+}
+
+// recorder records tracer events as strings for order/content assertions.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) log(f string, args ...interface{}) {
+	r.events = append(r.events, fmt.Sprintf(f, args...))
+}
+
+func (r *recorder) Const(site uint32, rd int)   { r.log("const r%d", rd) }
+func (r *recorder) Mov(site uint32, rd, rs int) { r.log("mov r%d r%d", rd, rs) }
+func (r *recorder) Binop(site uint32, op Op, rd, ra, rb int, va, vb Word) {
+	r.log("binop %v r%d r%d r%d %d %d", op, rd, ra, rb, va, vb)
+}
+func (r *recorder) Unop(site uint32, op Op, rd, rs int, vs Word) { r.log("unop %v", op) }
+func (r *recorder) ExtB(site uint32, rd, rs, idx int)            { r.log("extb %d", idx) }
+func (r *recorder) InsB(site uint32, rd, rs, idx int)            { r.log("insb %d", idx) }
+func (r *recorder) Load(site uint32, rd, raddr int, addr Word, n int) {
+	r.log("load r%d @%#x n=%d", rd, addr, n)
+}
+func (r *recorder) Store(site uint32, raddr int, addr Word, rs int, n int) {
+	r.log("store @%#x r%d n=%d", addr, rs, n)
+}
+func (r *recorder) Branch(site uint32, rc int, taken bool)     { r.log("branch r%d %v", rc, taken) }
+func (r *recorder) JmpInd(site uint32, raddr int, target Word) { r.log("jmpind r%d", raddr) }
+func (r *recorder) Call(site uint32, target int)               { r.log("call %d", target) }
+func (r *recorder) Ret(site uint32)                            { r.log("ret") }
+func (r *recorder) Push(site uint32, rs int, addr Word)        { r.log("push r%d", rs) }
+func (r *recorder) Pop(site uint32, rd int, addr Word)         { r.log("pop r%d", rd) }
+func (r *recorder) ReadInput(site uint32, addr Word, data []byte, secret bool) {
+	r.log("read %q secret=%v", data, secret)
+}
+func (r *recorder) WriteOutput(site uint32, addr Word, data []byte, reg int) {
+	r.log("write %q", data)
+}
+func (r *recorder) MarkSecret(site uint32, addr, length Word) { r.log("marksecret %d", length) }
+func (r *recorder) Declassify(site uint32, addr, length Word) { r.log("declassify %d", length) }
+func (r *recorder) EnterRegion(site uint32, outputs []Range)  { r.log("enter %d", len(outputs)) }
+func (r *recorder) LeaveRegion(site uint32)                   { r.log("leave") }
+func (r *recorder) FlowNote(site uint32)                      { r.log("flownote") }
+func (r *recorder) Exit(site uint32, codeReg int)             { r.log("exit r%d", codeReg) }
+
+func TestTracerEvents(t *testing.T) {
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: 10},
+		Instr{Op: OpConst, A: R2, Imm: 3},
+		Instr{Op: OpAdd, A: R0, B: R1, C: R2},
+		Instr{Op: OpJnz, A: R0, Imm: 4},
+		Instr{Op: OpCall, Imm: 6},
+		Instr{Op: OpHalt},
+		Instr{Op: OpRet}, // f:
+	)
+	m := NewMachineSize(p, 1<<16)
+	rec := &recorder{}
+	m.Tracer = rec
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"const r1",
+		"const r2",
+		"binop add r0 r1 r2 10 3",
+		"branch r0 true",
+		"call 6",
+		"push r-1",
+		"ret",
+		"exit r0",
+	}
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %v", rec.events)
+	}
+	for i := range want {
+		if rec.events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, rec.events[i], want[i], rec.events)
+		}
+	}
+}
+
+func TestEnclosureDescriptorDecoding(t *testing.T) {
+	// Descriptor at DataBase: 2 ranges (0x2000,4) and (0x3000,16).
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: int32(DataBase)},
+		Instr{Op: OpSys, Imm: SysEnterRegion},
+		Instr{Op: OpSys, Imm: SysLeaveRegion},
+		Instr{Op: OpHalt},
+	)
+	p.Data = []byte{
+		2, 0, 0, 0,
+		0x00, 0x20, 0, 0, 4, 0, 0, 0,
+		0x00, 0x30, 0, 0, 16, 0, 0, 0,
+	}
+	m := NewMachineSize(p, 1<<16)
+	rec := &recorder{}
+	m.Tracer = rec
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.events[1] != "enter 2" || rec.events[2] != "leave" {
+		t.Fatalf("events = %v", rec.events)
+	}
+}
+
+func BenchmarkUninstrumentedLoop(b *testing.B) {
+	// Tight countdown loop: measures raw dispatch speed.
+	p := prog(
+		Instr{Op: OpConst, A: R1, Imm: 1000},
+		Instr{Op: OpConst, A: R2, Imm: 1},
+		Instr{Op: OpSub, A: R1, B: R1, C: R2}, // loop:
+		Instr{Op: OpJnz, A: R1, Imm: 2},
+		Instr{Op: OpHalt},
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewMachineSize(p, 1<<16)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package vm
+
+// Tracer receives instrumentation events as the machine executes. The taint
+// engine (paper §2–4) implements this interface to build the flow graph; a
+// nil tracer runs the program uninstrumented (used by the lockstep checker
+// of §6.3 and by baseline benchmarks).
+//
+// All hooks are invoked *before* the architectural effect of the
+// instruction is applied, so the tracer observes pre-state values; hooks
+// receive concrete operand values so they do not need to re-decode.
+type Tracer interface {
+	// Const is invoked for a constant load into register rd.
+	Const(site uint32, rd int)
+
+	// Mov is invoked for a register-to-register copy.
+	Mov(site uint32, rd, rs int)
+
+	// Binop is invoked for a binary ALU or comparison op rd <- ra op rb.
+	Binop(site uint32, op Op, rd, ra, rb int, va, vb Word)
+
+	// Unop is invoked for rd <- op rs (not/neg).
+	Unop(site uint32, op Op, rd, rs int, vs Word)
+
+	// ExtB/InsB are the sub-register accesses of §4.1.
+	ExtB(site uint32, rd, rs, idx int)
+	InsB(site uint32, rd, rs, idx int)
+
+	// Load is invoked for rd <- mem[addr .. addr+n). raddr is the address
+	// register (for implicit-flow accounting when the address is secret).
+	Load(site uint32, rd, raddr int, addr Word, n int)
+
+	// Store is invoked for mem[addr .. addr+n) <- rs.
+	Store(site uint32, raddr int, addr Word, rs int, n int)
+
+	// Branch is invoked for a conditional jump on register rc.
+	Branch(site uint32, rc int, taken bool)
+
+	// JmpInd is invoked for an indirect jump through register raddr.
+	JmpInd(site uint32, raddr int, target Word)
+
+	// Call and Ret maintain the calling-context hash (paper §3.2).
+	Call(site uint32, target int)
+	Ret(site uint32)
+
+	// Push and Pop are stack moves between a register and memory.
+	Push(site uint32, rs int, addr Word)
+	Pop(site uint32, rd int, addr Word)
+
+	// ReadInput is invoked after a SysRead copied data into guest memory.
+	// secret reports whether the stream is the secret input.
+	ReadInput(site uint32, addr Word, data []byte, secret bool)
+
+	// WriteOutput is invoked when guest bytes reach the public output
+	// (SysWrite or SysPutc; for SysPutc, addr is the special register
+	// pseudo-address and reg is the source register, otherwise reg is -1).
+	WriteOutput(site uint32, addr Word, data []byte, reg int)
+
+	// MarkSecret and Declassify adjust secrecy of a memory range.
+	MarkSecret(site uint32, addr Word, length Word)
+	Declassify(site uint32, addr Word, length Word)
+
+	// EnterRegion and LeaveRegion bracket an enclosure region (§2.2) whose
+	// declared outputs are the given ranges.
+	EnterRegion(site uint32, outputs []Range)
+	LeaveRegion(site uint32)
+
+	// FlowNote requests an intermediate flow report (§8.1's real-time
+	// recomputation mode).
+	FlowNote(site uint32)
+
+	// Exit is invoked when the program halts (OpHalt or SysExit).
+	// Termination and the exit code are observable behavior (§3.1), so the
+	// analysis treats exit as a final output event.
+	Exit(site uint32, codeReg int)
+}

@@ -1,0 +1,203 @@
+// Package workload generates the inputs the paper's experiments use.
+//
+// The Figure 3 scaling study compresses "the digits of pi, written out in
+// English words"; PiWords reproduces that corpus with an unbounded spigot
+// algorithm, so inputs of any size are available deterministically and
+// offline. The other generators build ship placements, shot sequences,
+// grayscale test images, and appointment calendars for the §8 case
+// studies.
+package workload
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+)
+
+var digitWords = [10]string{
+	"zero", "one", "two", "three", "four",
+	"five", "six", "seven", "eight", "nine",
+}
+
+// PiDigits returns the first n decimal digits of pi (3, 1, 4, 1, 5, ...),
+// computed with the streaming spigot algorithm of Gibbons (2006) using
+// big-integer state.
+func PiDigits(n int) []int {
+	digits := make([]int, 0, n)
+	// State: q, r, t, k, n, l per the classic unbounded spigot.
+	q := big.NewInt(1)
+	r := big.NewInt(0)
+	t := big.NewInt(1)
+	k := big.NewInt(1)
+	nn := big.NewInt(3)
+	l := big.NewInt(3)
+
+	tmp := new(big.Int)
+	for len(digits) < n {
+		// if 4q + r - t < n*t: emit digit n
+		tmp.Mul(q, big.NewInt(4))
+		tmp.Add(tmp, r)
+		tmp.Sub(tmp, t)
+		cmp := new(big.Int).Mul(nn, t)
+		if tmp.Cmp(cmp) < 0 {
+			digits = append(digits, int(nn.Int64()))
+			// (q, r, t, k, n, l) = (10q, 10(r-nt), t, k, 10(3q+r)/t - 10n, l)
+			nr := new(big.Int).Mul(nn, t)
+			nr.Sub(r, nr)
+			nr.Mul(nr, big.NewInt(10))
+			q10 := new(big.Int).Mul(q, big.NewInt(10))
+			n2 := new(big.Int).Mul(q, big.NewInt(3))
+			n2.Add(n2, r)
+			n2.Mul(n2, big.NewInt(10))
+			n2.Div(n2, t)
+			n2.Sub(n2, new(big.Int).Mul(nn, big.NewInt(10)))
+			q, r, nn = q10, nr, n2
+		} else {
+			// (q, r, t, k, n, l) = (qk, (2q+r)l, tl, k+1, (q(7k+2)+rl)/(tl), l+2)
+			nr := new(big.Int).Mul(q, big.NewInt(2))
+			nr.Add(nr, r)
+			nr.Mul(nr, l)
+			nt := new(big.Int).Mul(t, l)
+			n2 := new(big.Int).Mul(k, big.NewInt(7))
+			n2.Add(n2, big.NewInt(2))
+			n2.Mul(n2, q)
+			n2.Add(n2, new(big.Int).Mul(r, l))
+			n2.Div(n2, nt)
+			nq := new(big.Int).Mul(q, k)
+			nk := new(big.Int).Add(k, big.NewInt(1))
+			nl := new(big.Int).Add(l, big.NewInt(2))
+			q, r, t, k, nn, l = nq, nr, nt, nk, n2, nl
+		}
+	}
+	return digits
+}
+
+// PiWords returns at least n bytes of the digits of pi spelled out in
+// English words ("three point one four one five nine ..."), truncated to
+// exactly n bytes — the highly compressible corpus of §5.3.
+func PiWords(n int) []byte {
+	var sb strings.Builder
+	sb.Grow(n + 16)
+	// Average ~5 bytes per digit word incl. space.
+	digits := PiDigits(n/4 + 8)
+	for i, d := range digits {
+		if i == 1 {
+			sb.WriteString("point ")
+		}
+		sb.WriteString(digitWords[d])
+		sb.WriteByte(' ')
+		if sb.Len() >= n {
+			break
+		}
+	}
+	for sb.Len() < n {
+		sb.WriteString(digitWords[0])
+		sb.WriteByte(' ')
+	}
+	return []byte(sb.String())[:n]
+}
+
+// RandomBytes returns n deterministic pseudo-random bytes — an
+// incompressible corpus for the Figure 3 "input-bound" regime.
+func RandomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+// Placement is one Battleship ship position.
+type Placement struct {
+	Row, Col, Orient byte
+}
+
+// BattleshipSecret encodes 4 non-overlapping ship placements (lengths 5,
+// 4, 3, 2) as the 12-byte secret input of the battleship guest.
+func BattleshipSecret(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	lens := []int{5, 4, 3, 2}
+	occupied := map[int]bool{}
+	out := make([]byte, 0, 12)
+	for _, l := range lens {
+	retry:
+		for {
+			r, c, o := rng.Intn(10), rng.Intn(10), rng.Intn(2)
+			cells := make([]int, l)
+			for k := 0; k < l; k++ {
+				if o == 0 {
+					cells[k] = r*10 + (c+k)%10
+				} else {
+					cells[k] = ((r+k)%10)*10 + c
+				}
+			}
+			for _, cell := range cells {
+				if occupied[cell] {
+					continue retry
+				}
+			}
+			for _, cell := range cells {
+				occupied[cell] = true
+			}
+			out = append(out, byte(r), byte(c), byte(o))
+			break
+		}
+	}
+	return out
+}
+
+// BattleshipShots encodes a public input: mode byte plus n shots.
+func BattleshipShots(mode byte, shots [][2]byte) []byte {
+	out := []byte{mode}
+	for _, s := range shots {
+		out = append(out, s[0], s[1])
+	}
+	return append(out, 0xFF, 0xFF)
+}
+
+// Image generates a deterministic w x h 8-bit grayscale test image with
+// smooth structure (gradients plus a bright disc), preceded by a 2-byte
+// header (w, h) — the secret input of the imagefilter guest.
+func Image(w, h int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, 2+w*h)
+	out = append(out, byte(w), byte(h))
+	cx, cy := w/3+rng.Intn(w/3), h/3+rng.Intn(h/3)
+	rad := (w + h) / 6
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (x*255)/w/2 + (y*255)/h/2
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy < rad*rad {
+				v += 90
+			}
+			v += rng.Intn(8)
+			if v > 255 {
+				v = 255
+			}
+			out = append(out, byte(v))
+		}
+	}
+	return out
+}
+
+// Appointment is one calendar entry in half-hour slots since midnight
+// (0..47), matching the calendar guest's wire format.
+type Appointment struct {
+	StartSlot, EndSlot int
+}
+
+// CalendarSecret encodes appointments as the calendar guest's secret
+// input: a count byte, then (start slot, end slot) byte pairs.
+func CalendarSecret(appts []Appointment) []byte {
+	out := []byte{byte(len(appts))}
+	for _, a := range appts {
+		out = append(out, byte(a.StartSlot), byte(a.EndSlot))
+	}
+	return out
+}
+
+// CalendarQuery encodes the public input: appointment count and the query
+// window (start hour, end hour).
+func CalendarQuery(count, startHour, endHour int) []byte {
+	return []byte{byte(count), byte(startHour), byte(endHour)}
+}

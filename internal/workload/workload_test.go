@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPiDigits(t *testing.T) {
+	want := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4}
+	got := PiDigits(20)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("digit %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPiWords(t *testing.T) {
+	w := PiWords(64)
+	if len(w) != 64 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if !strings.HasPrefix(string(w), "three point one four one five nine ") {
+		t.Fatalf("prefix = %q", w[:36])
+	}
+}
+
+func TestPiWordsDeterministic(t *testing.T) {
+	if !bytes.Equal(PiWords(512), PiWords(512)) {
+		t.Fatal("PiWords not deterministic")
+	}
+}
+
+func TestBattleshipSecretValid(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		b := BattleshipSecret(seed)
+		if len(b) != 12 {
+			t.Fatalf("len = %d", len(b))
+		}
+		// Reconstruct and check non-overlap.
+		occupied := map[int]bool{}
+		lens := []int{5, 4, 3, 2}
+		for s := 0; s < 4; s++ {
+			r, c, o := int(b[3*s]), int(b[3*s+1]), int(b[3*s+2])
+			if r > 9 || c > 9 || o > 1 {
+				t.Fatalf("out of range placement %v", b[3*s:3*s+3])
+			}
+			for k := 0; k < lens[s]; k++ {
+				var cell int
+				if o == 0 {
+					cell = r*10 + (c+k)%10
+				} else {
+					cell = ((r+k)%10)*10 + c
+				}
+				if occupied[cell] {
+					t.Fatalf("seed %d: overlapping ships at cell %d", seed, cell)
+				}
+				occupied[cell] = true
+			}
+		}
+		if len(occupied) != 14 {
+			t.Fatalf("occupied cells = %d, want 14", len(occupied))
+		}
+	}
+}
+
+func TestBattleshipShotsEncoding(t *testing.T) {
+	b := BattleshipShots(1, [][2]byte{{2, 3}, {4, 5}})
+	want := []byte{1, 2, 3, 4, 5, 0xFF, 0xFF}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("shots = %v, want %v", b, want)
+	}
+}
+
+func TestImage(t *testing.T) {
+	img := Image(25, 25, 1)
+	if len(img) != 2+25*25 {
+		t.Fatalf("len = %d", len(img))
+	}
+	if img[0] != 25 || img[1] != 25 {
+		t.Fatalf("header = %v", img[:2])
+	}
+	// Some variety in pixel values.
+	seen := map[byte]bool{}
+	for _, p := range img[2:] {
+		seen[p] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("image too flat: %d distinct values", len(seen))
+	}
+}
+
+func TestCalendarEncoding(t *testing.T) {
+	b := CalendarSecret([]Appointment{{StartSlot: 20, EndSlot: 24}})
+	want := []byte{1, 20, 24}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("calendar = %v, want %v", b, want)
+	}
+	q := CalendarQuery(1, 9, 18)
+	if !bytes.Equal(q, []byte{1, 9, 18}) {
+		t.Fatalf("query = %v", q)
+	}
+}
+
+func BenchmarkPiWords64K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PiWords(64 << 10)
+	}
+}

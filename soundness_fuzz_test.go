@@ -1,0 +1,274 @@
+package flowcheck
+
+// soundness_fuzz_test.go is the strongest end-to-end check in the
+// repository: it validates the paper's §3.1 soundness definition against
+// ground truth. For randomly generated guest programs over a single secret
+// byte, every one of the 256 possible secrets is executed; the set of
+// distinct observable behaviors (output + exit code) gives the program's
+// true channel capacity log2(D). Soundness requires:
+//
+//  1. a per-run bound of 0 bits implies noninterference: every secret
+//     must produce the same observable behavior (§3.1's first
+//     consequence); and
+//  2. the merged multi-run bound B satisfies 2^B ≥ D (distinguishing D
+//     messages needs log2 D bits, §3.1's second consequence).
+//
+// Independently-analyzed runs are NOT required to be jointly consistent —
+// different runs may take different cuts (binary vs unary codings, §3.2) —
+// so when the per-run bounds violate Kraft's inequality the harness
+// verifies that the merged analysis restores consistency, reproducing the
+// paper's §3.2 argument on arbitrary generated programs.
+//
+// The generated programs exercise arithmetic, bitwise ops, comparisons,
+// branches, bounded loops, table lookups with secret indices, and
+// enclosure regions — every implicit-flow mechanism the analysis models.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowcheck/internal/core"
+	"flowcheck/internal/taint"
+	"flowcheck/internal/vm"
+)
+
+// progGen builds a random-but-always-terminating MiniC program that reads
+// one secret byte into s and then mutates three int variables and emits
+// output.
+type progGen struct {
+	rng   *rand.Rand
+	sb    strings.Builder
+	loops int
+}
+
+var fuzzVars = []string{"a", "b", "c"}
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return "s"
+		case 1, 2:
+			return fuzzVars[g.rng.Intn(len(fuzzVars))]
+		default:
+			return fmt.Sprintf("%d", g.rng.Intn(256))
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", ">>", "<<"}
+	op := ops[g.rng.Intn(len(ops))]
+	l := g.expr(depth - 1)
+	r := g.expr(depth - 1)
+	if op == ">>" || op == "<<" {
+		r = fmt.Sprintf("%d", g.rng.Intn(8)) // bounded public shift
+	}
+	if g.rng.Intn(4) == 0 {
+		return fmt.Sprintf("(%s %s %s) / %d", l, op, r, 1+g.rng.Intn(9))
+	}
+	return fmt.Sprintf("(%s %s %s)", l, op, r)
+}
+
+func (g *progGen) cond() string {
+	cmps := []string{"<", ">", "==", "!=", "<=", ">="}
+	return fmt.Sprintf("(%s %s %s)", g.expr(1), cmps[g.rng.Intn(len(cmps))], g.expr(1))
+}
+
+func (g *progGen) stmt(indent string, depth int) {
+	switch g.rng.Intn(7) {
+	case 0, 1: // assignment
+		v := fuzzVars[g.rng.Intn(len(fuzzVars))]
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", indent, v, g.expr(2))
+	case 2: // output
+		fmt.Fprintf(&g.sb, "%sputc((char)(%s));\n", indent, g.expr(2))
+	case 3: // branch
+		if depth <= 0 {
+			fmt.Fprintf(&g.sb, "%sa = %s;\n", indent, g.expr(1))
+			return
+		}
+		fmt.Fprintf(&g.sb, "%sif %s {\n", indent, g.cond())
+		g.stmt(indent+"    ", depth-1)
+		fmt.Fprintf(&g.sb, "%s} else {\n", indent)
+		g.stmt(indent+"    ", depth-1)
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	case 4: // bounded loop over a secret-derived count
+		if depth <= 0 {
+			fmt.Fprintf(&g.sb, "%sb = %s;\n", indent, g.expr(1))
+			return
+		}
+		// Each loop gets its own index variable: nested loops sharing one
+		// index never terminate.
+		v := fmt.Sprintf("i%d", g.loops)
+		g.loops++
+		fmt.Fprintf(&g.sb, "%sfor (int %s = 0; %s < ((%s) & 7); %s++) {\n", indent, v, v, g.expr(1), v)
+		g.stmt(indent+"    ", depth-1)
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	case 5: // table lookup with a secret-derived index
+		v := fuzzVars[g.rng.Intn(len(fuzzVars))]
+		fmt.Fprintf(&g.sb, "%s%s = tab[(%s) & 15];\n", indent, v, g.expr(1))
+	case 6: // enclosure region around a branch
+		if depth <= 0 {
+			fmt.Fprintf(&g.sb, "%sc = %s;\n", indent, g.expr(1))
+			return
+		}
+		outs := fuzzVars[g.rng.Intn(len(fuzzVars))]
+		fmt.Fprintf(&g.sb, "%s__enclose(%s) {\n", indent, outs)
+		fmt.Fprintf(&g.sb, "%s    if %s { %s = %s; }\n", indent, g.cond(), outs, g.expr(1))
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	}
+}
+
+func genProgram(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	g.sb.WriteString(`int tab[16];
+int main() {
+    char buf[1];
+    int s, a, b, c, i;
+    for (i = 0; i < 16; i++) tab[i] = (i * 11) & 255;
+    read_secret(buf, 1);
+    s = (int)buf[0];
+    a = 1; b = 2; c = 3;
+`)
+	n := 3 + g.rng.Intn(5)
+	for j := 0; j < n; j++ {
+		g.stmt("    ", 2)
+	}
+	g.sb.WriteString("    putc((char)(a ^ b ^ c));\n")
+	g.sb.WriteString("    return 0;\n}\n")
+	return g.sb.String()
+}
+
+// behavior is the observable outcome of one run.
+func behavior(m *vm.Machine) string {
+	return fmt.Sprintf("%q/%d", m.Output, m.ExitCode)
+}
+
+func TestSoundnessAgainstChannelCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz soundness check skipped in -short mode")
+	}
+	const numPrograms = 25
+	for seed := int64(0); seed < numPrograms; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := genProgram(seed)
+			prog, err := Compile("fuzz.mc", src)
+			if err != nil {
+				t.Fatalf("generated program does not compile: %v\n%s", err, src)
+			}
+
+			// Ground truth: run every secret, group by behavior.
+			perRunBits := make([]int64, 256)
+			behaviors := make([]string, 256)
+			distinct := map[string]bool{}
+			for sByte := 0; sByte < 256; sByte++ {
+				in := core.Inputs{Secret: []byte{byte(sByte)}}
+				m, err := core.RunPlain(prog, in, core.Config{})
+				if err != nil {
+					t.Fatalf("secret %d trapped: %v\n%s", sByte, err, src)
+				}
+				behaviors[sByte] = behavior(m)
+				distinct[behaviors[sByte]] = true
+
+				res, err := core.Analyze(prog, in, core.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				perRunBits[sByte] = res.Bits
+			}
+
+			// Merged multi-run analysis over every input.
+			inputs := make([]core.Inputs, 256)
+			for i := range inputs {
+				inputs[i] = core.Inputs{Secret: []byte{byte(i)}}
+			}
+			merged, err := core.AnalyzeMulti(prog, inputs, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			d := len(distinct)
+			needBits := math.Log2(float64(d))
+
+			// Check 2: the merged bound can encode all observed behaviors.
+			if float64(merged.Bits) < needBits-1e-9 {
+				t.Fatalf("UNSOUND: merged bound %d bits < log2(%d distinct behaviors) = %.2f\n%s",
+					merged.Bits, d, needBits, src)
+			}
+
+			// Check 1: a zero bound means noninterference.
+			for i, k := range perRunBits {
+				if k == 0 && d != 1 {
+					t.Fatalf("UNSOUND: run with secret %d reported 0 bits but %d behaviors exist\n%s",
+						i, d, src)
+				}
+			}
+
+			// §3.2 reproduction: when independently-chosen cuts make the
+			// per-run bounds jointly inconsistent (Kraft violated), the
+			// merged analysis must restore a consistent uniform code.
+			minPer := map[string]int64{}
+			for i, b := range behaviors {
+				if cur, ok := minPer[b]; !ok || perRunBits[i] < cur {
+					minPer[b] = perRunBits[i]
+				}
+			}
+			var sum float64
+			for _, k := range minPer {
+				sum += math.Pow(2, -float64(k))
+			}
+			if sum > 1+1e-9 {
+				// Jointly inconsistent per-run cuts: legal for independent
+				// analyses; the merged bound (checked above) covers all D
+				// behaviors, i.e. D * 2^-B <= 1.
+				if float64(d)*math.Pow(2, -float64(merged.Bits)) > 1+1e-9 {
+					t.Fatalf("UNSOUND: merged bound %d does not restore consistency over %d behaviors\n%s",
+						merged.Bits, d, src)
+				}
+			}
+		})
+	}
+}
+
+// The same harness with exact (uncollapsed) per-run graphs: exact mode must
+// be sound too.
+func TestSoundnessExactMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz soundness check skipped in -short mode")
+	}
+	for seed := int64(100); seed < 110; seed++ {
+		src := genProgram(seed)
+		prog, err := Compile("fuzz.mc", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		distinct := map[string]bool{}
+		perRunBits := make([]int64, 256)
+		behaviors := make([]string, 256)
+		for sByte := 0; sByte < 256; sByte++ {
+			in := core.Inputs{Secret: []byte{byte(sByte)}}
+			m, err := core.RunPlain(prog, in, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			behaviors[sByte] = behavior(m)
+			distinct[behaviors[sByte]] = true
+			res, err := core.Analyze(prog, in, core.Config{Taint: taint.Options{Exact: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			perRunBits[sByte] = res.Bits
+		}
+		// Zero bounds imply noninterference; and every run distinguishing
+		// into d behaviors where a run's own behavior class is unique must
+		// report at least 1 bit... the robust per-run check is the zero
+		// case (§3.1); joint consistency needs merging (§3.2).
+		for i, k := range perRunBits {
+			if k == 0 && len(distinct) != 1 {
+				t.Fatalf("seed %d UNSOUND in exact mode: secret %d reported 0 bits but %d behaviors\n%s",
+					seed, i, len(distinct), src)
+			}
+		}
+	}
+}
