@@ -217,6 +217,57 @@ func BenchmarkMaxflowAlgorithms(b *testing.B) {
 	})
 }
 
+// The engine's parallel batch path vs serial analysis over the same N
+// executions of a case-study guest (the ISSUE 1 acceptance benchmark).
+// Serial runs N independent Analyze calls (fresh machine each); Multi is
+// the online §3.2 accumulation; Batch1/BatchMax are the engine fan-out
+// with pooled sessions at one worker and at GOMAXPROCS. On multi-core,
+// BatchMax should beat Serial while reporting the same joint Bits as Multi.
+func BenchmarkEngineBatch(b *testing.B) {
+	const runs = 8
+	prog := guest.Program("compress")
+	inputs := make([]Inputs, runs)
+	for i := range inputs {
+		inputs[i] = Inputs{Secret: workload.PiWords(768 + 64*i)}
+	}
+	want, err := AnalyzeMulti(prog, inputs, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				if _, err := Analyze(prog, in, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeMulti(prog, inputs, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Batch1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := AnalyzeBatch(prog, inputs, Config{Workers: 1})
+			if err != nil || res.Bits != want.Bits {
+				b.Fatalf("bits=%d want=%d err=%v", res.Bits, want.Bits, err)
+			}
+		}
+	})
+	b.Run("BatchMax", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := AnalyzeBatch(prog, inputs, Config{})
+			if err != nil || res.Bits != want.Bits {
+				b.Fatalf("bits=%d want=%d err=%v", res.Bits, want.Bits, err)
+			}
+		}
+	})
+}
+
 // Checking modes vs full analysis vs plain execution (§6).
 func BenchmarkCheckingModes(b *testing.B) {
 	secret := []byte(experiments.Fig2Input)

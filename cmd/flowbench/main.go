@@ -10,11 +10,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"flowcheck/internal/experiments"
 )
@@ -40,13 +42,23 @@ var experimentsByName = []struct {
 	{"collapse", "§5.2/5.3: graph collapsing", runCollapse},
 	{"multiclass", "§10.1: different kinds of secret", runMultiClass},
 	{"interp", "§10.3: analyzing interpreted code", runInterp},
+	{"batch", "engine: parallel batch vs serial multi-run", runBatch},
+}
+
+// timingRecord is the machine-readable per-experiment timing emitted by
+// -json (one array on stdout; the human tables go to stderr).
+type timingRecord struct {
+	Name    string  `json:"name"`
+	Desc    string  `json:"desc"`
+	Seconds float64 `json:"seconds"`
 }
 
 func main() {
 	fs := flag.NewFlagSet("flowbench", flag.ExitOnError)
 	sizesFlag := fs.String("sizes", "", "comma-separated input sizes for fig3/sp/collapse sweeps")
+	jsonFlag := fs.Bool("json", false, "emit per-experiment timings as JSON on stdout (tables go to stderr)")
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: flowbench <experiment|all> [-sizes n,n,...]")
+		fmt.Fprintln(os.Stderr, "usage: flowbench <experiment|all> [-sizes n,n,...] [-json]")
 		for _, e := range experimentsByName {
 			fmt.Fprintf(os.Stderr, "  %-11s %s\n", e.name, e.desc)
 		}
@@ -68,18 +80,37 @@ func main() {
 		}
 	}
 
+	// With -json, the human-readable tables move to stderr so stdout
+	// carries only the JSON; fmt.Printf resolves os.Stdout at call time.
+	realStdout := os.Stdout
+	if *jsonFlag {
+		os.Stdout = os.Stderr
+	}
+
 	found := false
+	var timings []timingRecord
 	for _, e := range experimentsByName {
 		if which == "all" || which == e.name {
 			found = true
 			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
+			start := time.Now()
 			e.run(sizes)
+			timings = append(timings, timingRecord{e.name, e.desc, time.Since(start).Seconds()})
 			fmt.Println()
 		}
 	}
 	if !found {
 		fmt.Fprintln(os.Stderr, "unknown experiment:", which)
 		os.Exit(2)
+	}
+	if *jsonFlag {
+		os.Stdout = realStdout
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(timings); err != nil {
+			fmt.Fprintln(os.Stderr, "flowbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -209,6 +240,21 @@ func runInterp(_ []int) {
 	fmt.Printf("script OUT(in[0]^in[1]):  %2d bits (want 8: one byte of info)\n", r.XorBits)
 	fmt.Printf("script dumping 3 bytes:   %2d bits (want 24)\n", r.DumpBits)
 	fmt.Println("the measurement tracks the interpreted script, not the interpreter (§10.3)")
+}
+
+func runBatch(sizes []int) {
+	runs := 8
+	if len(sizes) > 0 {
+		runs = sizes[0]
+	}
+	r := experiments.Batch(runs)
+	fmt.Printf("%d runs of %s, %d worker(s) available\n", r.Runs, r.Guest, r.Workers)
+	fmt.Printf("serial Analyze x%d:      %10s\n", r.Runs, r.Serial.Round(time.Microsecond))
+	fmt.Printf("online AnalyzeMulti:     %10s\n", r.Multi.Round(time.Microsecond))
+	fmt.Printf("AnalyzeBatch workers=1:  %10s\n", r.Batch1.Round(time.Microsecond))
+	fmt.Printf("AnalyzeBatch workers=%-2d: %10s  (%.2fx vs serial)\n",
+		r.Workers, r.BatchN.Round(time.Microsecond), float64(r.Serial)/float64(r.BatchN))
+	fmt.Printf("joint bound: %d bits; batch == multi: %v; per-run %v\n", r.JointBits, r.Agree, r.PerRunBits)
 }
 
 func runCollapse(sizes []int) {

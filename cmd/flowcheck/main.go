@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -114,6 +115,45 @@ func (f *inputFlags) load(fs *flag.FlagSet) (*vm.Program, core.Inputs, error) {
 	return prog, in, err
 }
 
+// batchInputs assembles the input list for batch mode, or nil for a
+// single-run analysis. -secret-dir contributes one run per file (sorted by
+// name, sharing the common public input); -runs then replicates the whole
+// list.
+func batchInputs(in core.Inputs, runs int, secretDir string) ([]core.Inputs, error) {
+	base := []core.Inputs{in}
+	if secretDir != "" {
+		entries, err := os.ReadDir(secretDir)
+		if err != nil {
+			return nil, err
+		}
+		base = base[:0]
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			secret, err := os.ReadFile(filepath.Join(secretDir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			base = append(base, core.Inputs{Secret: secret, Public: in.Public})
+		}
+		if len(base) == 0 {
+			return nil, fmt.Errorf("no secret files in %s", secretDir)
+		}
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	if secretDir == "" && runs == 1 {
+		return nil, nil
+	}
+	var out []core.Inputs
+	for i := 0; i < runs; i++ {
+		out = append(out, base...)
+	}
+	return out, nil
+}
+
 func pick(file, lit string) ([]byte, error) {
 	if file != "" {
 		return os.ReadFile(file)
@@ -133,6 +173,10 @@ func cmdRun(args []string) error {
 	dot := fs.String("dot", "", "write the flow graph in DOT form to this file")
 	ek := fs.Bool("edmonds-karp", false, "use Edmonds-Karp instead of Dinic")
 	showOut := fs.Bool("show-output", true, "print the program's output")
+	runs := fs.Int("runs", 1, "analyze this many executions of the same inputs jointly (batch mode, §3.2)")
+	secretDir := fs.String("secret-dir", "", "batch mode: one run per file in this directory (sorted), each file the run's secret input")
+	workers := fs.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
+	stages := fs.Bool("stages", false, "print per-stage pipeline timings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,13 +184,37 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Taint: taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn}}
+	cfg := core.Config{
+		Taint:   taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
+		Workers: *workers,
+	}
 	if *ek {
 		cfg.Algorithm = maxflow.EdmondsKarp
 	}
-	res, err := core.Analyze(prog, in, cfg)
+	batch, err := batchInputs(in, *runs, *secretDir)
 	if err != nil {
 		return err
+	}
+	var res *core.Result
+	if batch != nil {
+		res, err = core.AnalyzeBatch(prog, batch, cfg)
+	} else {
+		res, err = core.Analyze(prog, in, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if len(res.Runs) > 0 {
+		fmt.Printf("batch of %d runs:\n", len(res.Runs))
+		fmt.Println("  run  bits  output  steps")
+		for _, r := range res.Runs {
+			trapped := ""
+			if r.Trapped {
+				trapped = "  (trapped)"
+			}
+			fmt.Printf("  %3d  %4d  %5dB  %d%s\n", r.Run, r.Bits, r.OutputBytes, r.Steps, trapped)
+		}
+		fmt.Println("joint (merged by code location, §3.2):")
 	}
 	if res.Trap != nil {
 		fmt.Printf("note: guest trapped: %v (results cover the partial run)\n", res.Trap)
@@ -154,12 +222,22 @@ func cmdRun(args []string) error {
 	if *showOut {
 		fmt.Printf("output (%d bytes): %q\n", len(res.Output), abbrev(res.Output))
 	}
+	secretBytes := len(in.Secret)
+	if batch != nil {
+		secretBytes = 0
+		for _, b := range batch {
+			secretBytes += len(b.Secret)
+		}
+	}
 	fmt.Printf("secret input: %d bytes; tainted output bound: %d bits\n",
-		len(in.Secret), res.TaintedOutputBits)
+		secretBytes, res.TaintedOutputBits)
 	fmt.Printf("maximum flow: %d bits\n", res.Bits)
 	fmt.Printf("minimum cut: %s\n", res.CutString())
 	fmt.Printf("graph: %d nodes, %d edges; %d steps executed\n",
 		res.Graph.NumNodes(), res.Graph.NumEdges(), res.Steps)
+	if *stages {
+		fmt.Printf("stages: %v\n", res.Stages)
+	}
 	if len(res.Snapshots) > 0 {
 		fmt.Println("intermediate flows (__flownote):")
 		for _, s := range res.Snapshots {

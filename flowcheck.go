@@ -45,6 +45,18 @@ type (
 	TaintOptions = taint.Options
 	// Program is a compiled MiniC guest program.
 	Program = vm.Program
+	// Analyzer is the staged analysis engine: it binds a program to a
+	// configuration and reuses pooled sessions (guest memory, tracker,
+	// solver buffers) across runs.
+	Analyzer = core.Analyzer
+	// RunSummary is the per-execution record of a multi-run analysis.
+	RunSummary = core.RunSummary
+	// StageStats is the per-stage timing breakdown of an analysis.
+	StageStats = core.StageStats
+	// SecretClass names one kind of secret within the secret input (§10.1).
+	SecretClass = core.SecretClass
+	// ClassResult is the per-class disclosure measurement.
+	ClassResult = core.ClassResult
 )
 
 // Max-flow algorithm selectors for Config.Algorithm.
@@ -70,3 +82,22 @@ func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error)
 func AnalyzeMulti(p *Program, inputs []Inputs, cfg Config) (*Result, error) {
 	return core.AnalyzeMulti(p, inputs, cfg)
 }
+
+// AnalyzeBatch analyzes several executions in parallel across worker
+// sessions (cfg.Workers, default GOMAXPROCS), merging the per-run graphs
+// by code location so the joint bound keeps the cross-run soundness of
+// §3.2 — the same Bits as AnalyzeMulti, deterministic regardless of worker
+// count, but with the execution and solving fanned out.
+func AnalyzeBatch(p *Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return core.AnalyzeBatch(p, inputs, cfg)
+}
+
+// AnalyzeClasses measures the per-class disclosure of one execution
+// (§10.1), analyzing the classes in parallel.
+func AnalyzeClasses(p *Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
+	return core.AnalyzeClasses(p, in, classes, cfg)
+}
+
+// NewAnalyzer creates a reusable staged analyzer for p; prefer it over
+// repeated Analyze calls when analyzing many inputs of the same program.
+func NewAnalyzer(p *Program, cfg Config) *Analyzer { return core.NewAnalyzer(p, cfg) }

@@ -10,257 +10,81 @@
 //	fmt.Printf("%d bits revealed\n", res.Bits)
 //
 // Multiple executions can be analyzed jointly for cross-run soundness
-// (§3.2) with AnalyzeMulti.
+// (§3.2) with AnalyzeMulti (online, serial) or AnalyzeBatch (parallel,
+// merged offline by code location).
+//
+// The package is a thin facade over internal/engine, which owns the staged
+// pipeline (Execute, Build, Solve, Report) and the pooled, reusable
+// per-worker sessions behind these entry points.
 package core
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
-	"flowcheck/internal/flowgraph"
-	"flowcheck/internal/lang"
-	"flowcheck/internal/maxflow"
-	"flowcheck/internal/taint"
+	"flowcheck/internal/engine"
 	"flowcheck/internal/vm"
 )
 
-// Config controls an analysis.
-type Config struct {
-	// Taint configures the tracker (collapsing, context sensitivity, lazy
-	// region limits, implicit-flow warnings).
-	Taint taint.Options
-	// Algorithm selects the max-flow algorithm (default Dinic).
-	Algorithm maxflow.Algorithm
-	// MemSize is the guest memory size (default vm.DefaultMemSize).
-	MemSize int
-	// MaxSteps bounds guest execution (default vm.DefaultMaxSteps).
-	MaxSteps uint64
-}
+// Re-exported engine types; see internal/engine for documentation.
+type (
+	// Config controls an analysis.
+	Config = engine.Config
+	// Inputs is one execution's secret/public input pair.
+	Inputs = engine.Inputs
+	// Result reports one analysis.
+	Result = engine.Result
+	// RunSummary is the per-execution record of a multi-run analysis.
+	RunSummary = engine.RunSummary
+	// StageStats is the per-stage timing breakdown of an analysis.
+	StageStats = engine.StageStats
+	// CutEdge describes one minimum-cut edge.
+	CutEdge = engine.CutEdge
+	// SecretClass names one kind of secret within the secret input (§10.1).
+	SecretClass = engine.SecretClass
+	// ClassResult is the per-class disclosure measurement.
+	ClassResult = engine.ClassResult
+	// Analyzer is the staged analysis engine with pooled sessions.
+	Analyzer = engine.Analyzer
+)
 
-// Inputs is one execution's input pair: the secret input whose disclosure
-// is measured, and the public input (fixed in the attack model of §3.1).
-type Inputs struct {
-	Secret []byte
-	Public []byte
-}
-
-// Result reports one analysis.
-type Result struct {
-	// Bits is the headline number: the maximum flow from secret inputs to
-	// public outputs, in bits.
-	Bits int64
-
-	// TaintedOutputBits is what plain tainting would report: the total
-	// capacity of edges into the sink (§7).
-	TaintedOutputBits int64
-
-	// Graph is the constructed flow network; Flow and Cut the max-flow
-	// result and a minimum cut over it.
-	Graph *flowgraph.Graph
-	Flow  *maxflow.Result
-	Cut   *maxflow.Cut
-
-	// Execution facts.
-	Output   []byte
-	ExitCode vm.Word
-	Steps    uint64
-	Trap     error // non-nil if the guest trapped (result still sound for the partial run)
-
-	Warnings  []taint.Warning
-	Snapshots []taint.Snapshot
-	Stats     taint.Stats
-
-	prog *vm.Program
+// NewAnalyzer creates a reusable analyzer for prog: repeated calls reuse
+// pooled sessions (guest memory, tracker, solver buffers).
+func NewAnalyzer(prog *vm.Program, cfg Config) *Analyzer {
+	return engine.New(prog, cfg)
 }
 
 // Analyze runs one execution of prog under the analysis.
 func Analyze(prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
-	tr := taint.New(cfg.Taint)
-	return analyzeWith(tr, prog, in, cfg)
+	return engine.Analyze(prog, in, cfg)
 }
 
 // AnalyzeMulti analyzes several executions together: graphs are merged by
 // code location across runs, restoring the cross-run consistency of §3.2.
-// The returned result reflects the combined graph; per-run outputs are
-// discarded except for the last run's.
+// The returned result reflects the combined graph, with per-run summaries
+// in Runs; Output, ExitCode, Steps, and Trap are the last run's.
 func AnalyzeMulti(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
-	if len(inputs) == 0 {
-		return nil, fmt.Errorf("core: no inputs")
-	}
-	tr := taint.New(cfg.Taint)
-	var res *Result
-	var err error
-	for i, in := range inputs {
-		if i > 0 {
-			tr.Reset()
-		}
-		res, err = analyzeWith(tr, prog, in, cfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return engine.AnalyzeMulti(prog, inputs, cfg)
+}
+
+// AnalyzeBatch analyzes several executions in parallel across worker
+// sessions (cfg.Workers, default GOMAXPROCS) and merges the per-run graphs
+// by code location, reporting the same joint §3.2-sound bound as
+// AnalyzeMulti. Deterministic regardless of worker count.
+func AnalyzeBatch(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return engine.AnalyzeBatch(prog, inputs, cfg)
 }
 
 // AnalyzeSource compiles MiniC source and analyzes one execution.
 func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error) {
-	prog, err := lang.Compile(filename, src)
-	if err != nil {
-		return nil, err
-	}
-	return Analyze(prog, in, cfg)
-}
-
-func analyzeWith(tr *taint.Tracker, prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
-	m := newMachine(prog, in, cfg)
-	tr.Attach(m)
-	trapErr := m.Run()
-
-	g := tr.Graph()
-	flow := maxflow.Compute(g, cfg.Algorithm)
-	cut := flow.MinCut()
-
-	// The tainting bound counts only data actually written out, not the
-	// unbounded chain links that model output ordering.
-	var taintedOut int64
-	for _, e := range g.Edges {
-		if e.To == flowgraph.Sink && e.Label.Kind == flowgraph.KindOutput {
-			taintedOut += e.Cap
-		}
-	}
-
-	return &Result{
-		Bits:              flow.Flow,
-		TaintedOutputBits: taintedOut,
-		Graph:             g,
-		Flow:              flow,
-		Cut:               cut,
-		Output:            m.Output,
-		ExitCode:          m.ExitCode,
-		Steps:             m.Steps,
-		Trap:              trapErr,
-		Warnings:          tr.Warnings(),
-		Snapshots:         tr.Snapshots(),
-		Stats:             tr.Stats(),
-		prog:              prog,
-	}, nil
-}
-
-func newMachine(prog *vm.Program, in Inputs, cfg Config) *vm.Machine {
-	size := cfg.MemSize
-	if size == 0 {
-		size = vm.DefaultMemSize
-	}
-	m := vm.NewMachineSize(prog, size)
-	if cfg.MaxSteps != 0 {
-		m.MaxSteps = cfg.MaxSteps
-	}
-	m.SecretIn = in.Secret
-	m.PublicIn = in.Public
-	return m
-}
-
-// SecretClass names one kind of secret within the secret input stream
-// (paper §10.1): the bytes [Off, Off+Len).
-type SecretClass struct {
-	Name string
-	Off  int
-	Len  int
-}
-
-// ClassResult is the per-class disclosure measurement.
-type ClassResult struct {
-	Class SecretClass
-	Bits  int64
-	Cut   string
+	return engine.AnalyzeSource(filename, src, in, cfg)
 }
 
 // AnalyzeClasses measures, for each kind of secret, how much of it this
-// execution reveals, by running the analysis once per class with only that
-// class's input bytes marked secret (§10.1: "our analysis can be used
-// independently for each kind of secret"). The per-class bounds may sum to
-// more than a joint analysis reports, since the classes share output
-// capacity (the crowding-out effect the paper discusses).
+// execution reveals (§10.1), analyzing the classes in parallel.
 func AnalyzeClasses(prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
-	out := make([]ClassResult, 0, len(classes))
-	for _, c := range classes {
-		classCfg := cfg
-		classCfg.Taint.SecretRanges = []taint.StreamRange{{Off: c.Off, Len: c.Len}}
-		res, err := Analyze(prog, in, classCfg)
-		if err != nil {
-			return nil, fmt.Errorf("class %s: %w", c.Name, err)
-		}
-		out = append(out, ClassResult{Class: c, Bits: res.Bits, Cut: res.CutString()})
-	}
-	return out, nil
+	return engine.AnalyzeClasses(prog, in, classes, cfg)
 }
 
 // RunPlain executes prog uninstrumented (the baseline for overhead
 // comparisons, and the second machine of the §6.3 lockstep checker).
 func RunPlain(prog *vm.Program, in Inputs, cfg Config) (*vm.Machine, error) {
-	m := newMachine(prog, in, cfg)
-	err := m.Run()
-	return m, err
-}
-
-// CutEdge is a human-readable description of one minimum-cut edge: a
-// program location whose carried bits bound the information revealed
-// (§6.1). Cut descriptions drive both checking modes of §6.
-type CutEdge struct {
-	Where string
-	Kind  flowgraph.EdgeKind
-	Bits  int64
-	Label flowgraph.Label
-}
-
-// DescribeCut renders the minimum cut against the program's site table,
-// most-capacious edges first.
-func (r *Result) DescribeCut() []CutEdge {
-	if r.Cut == nil {
-		return nil
-	}
-	out := make([]CutEdge, 0, len(r.Cut.EdgeIndex))
-	for _, idx := range r.Cut.EdgeIndex {
-		e := r.Graph.Edges[idx]
-		where := fmt.Sprintf("site %d", e.Label.Site)
-		if r.prog != nil && int(e.Label.Site) < len(r.prog.Code) {
-			where = r.prog.SiteString(r.prog.Code[e.Label.Site].Site)
-		}
-		out = append(out, CutEdge{Where: where, Kind: e.Label.Kind, Bits: e.Cap, Label: e.Label})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bits != out[j].Bits {
-			return out[i].Bits > out[j].Bits
-		}
-		return out[i].Where < out[j].Where
-	})
-	return out
-}
-
-// CutString formats the cut for reports: "9 bits = 8@file:3(f)[internal] + 1@file:14(f)[implicit]".
-func (r *Result) CutString() string {
-	edges := r.DescribeCut()
-	parts := make([]string, len(edges))
-	for i, e := range edges {
-		parts[i] = fmt.Sprintf("%d@%s[%s]", e.Bits, e.Where, e.Kind)
-	}
-	return fmt.Sprintf("%d bits = %s", r.Bits, strings.Join(parts, " + "))
-}
-
-// CutSites returns the distinct instruction addresses (graph label sites)
-// on the minimum cut; the checking modes of §6 use them as the trusted
-// boundary.
-func (r *Result) CutSites() []uint32 {
-	seen := map[uint32]bool{}
-	var sites []uint32
-	for _, idx := range r.Cut.EdgeIndex {
-		s := r.Graph.Edges[idx].Label.Site
-		if !seen[s] {
-			seen[s] = true
-			sites = append(sites, s)
-		}
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	return sites
+	return engine.RunPlain(prog, in, cfg)
 }

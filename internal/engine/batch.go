@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/maxflow"
+	"flowcheck/internal/merge"
+	"flowcheck/internal/taint"
+)
+
+// workers resolves the configured fan-out width for n work items.
+func (a *Analyzer) workers(n int) int {
+	w := a.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fanOut runs fn(i) for i in [0, n) across the configured number of worker
+// goroutines, each holding one pooled session. Work items are claimed from
+// an atomic counter, so any worker may process any index; callers must
+// write results into index-addressed slots to stay deterministic.
+func (a *Analyzer) fanOut(n int, fn func(s *session, i int)) {
+	workers := a.workers(n)
+	if workers == 1 {
+		s := a.acquire()
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		a.release(s)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := a.acquire()
+			defer a.release(s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(s, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// AnalyzeBatch analyzes several executions of the program in parallel:
+// runs are fanned across worker sessions (Config.Workers, default
+// GOMAXPROCS), each executed with a fresh per-worker tracker, and the
+// per-run graphs are then merged by code location (internal/merge) and
+// solved jointly. The merged bound has the same cross-run soundness as
+// AnalyzeMulti's online accumulation (§3.2) — offline merge and online
+// accumulation agree — but the expensive Execute/Build/Solve stages run
+// concurrently.
+//
+// The result is deterministic: graphs are merged in run order, so Bits and
+// the cut do not depend on worker count or scheduling. As in AnalyzeMulti,
+// Output, ExitCode, Steps, and Trap are the last run's; Warnings and
+// Snapshots are concatenated in run order; Stats sums across runs; Runs
+// holds per-run summaries (with each run's standalone bound).
+func (a *Analyzer) AnalyzeBatch(inputs []Inputs) (*Result, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("engine: no inputs")
+	}
+	start := time.Now()
+
+	perRun := make([]*Result, len(inputs))
+	a.fanOut(len(inputs), func(s *session, i int) {
+		perRun[i] = a.runStages(s, a.sessionTracker(s), inputs[i])
+	})
+
+	// Merge per-run graphs in run order (§3.2). Exact-mode builders number
+	// edges with per-builder serials that collide across runs, so salt each
+	// run's labels to keep them disjoint — matching how a single exact-mode
+	// tracker numbers successive runs online.
+	graphs := make([]*flowgraph.Graph, len(inputs))
+	for i, r := range perRun {
+		if a.cfg.Taint.Exact {
+			merge.SaltLabels(r.Graph, uint64(i+1))
+		}
+		graphs[i] = r.Graph
+	}
+	mStart := time.Now()
+	joint := merge.Graphs(graphs...)
+	mergeDur := time.Since(mStart)
+
+	sStart := time.Now()
+	flow := maxflow.Compute(joint, a.cfg.Algorithm)
+	cut := flow.MinCut()
+	jointSolve := time.Since(sStart)
+
+	var taintedOut int64
+	for _, e := range joint.Edges {
+		if e.To == flowgraph.Sink && e.Label.Kind == flowgraph.KindOutput {
+			taintedOut += e.Cap
+		}
+	}
+
+	last := perRun[len(perRun)-1]
+	res := &Result{
+		Bits:              flow.Flow,
+		TaintedOutputBits: taintedOut,
+		Graph:             joint,
+		Flow:              flow,
+		Cut:               cut,
+		Output:            last.Output,
+		ExitCode:          last.ExitCode,
+		Steps:             last.Steps,
+		Trap:              last.Trap,
+		Runs:              make([]RunSummary, 0, len(perRun)),
+		prog:              a.prog,
+	}
+	var agg StageStats
+	for i, r := range perRun {
+		res.Runs = append(res.Runs, summarize(i, r))
+		res.Warnings = append(res.Warnings, r.Warnings...)
+		res.Snapshots = append(res.Snapshots, r.Snapshots...)
+		addStats(&res.Stats, r.Stats)
+		agg.add(r.Stages)
+	}
+	agg.Merge = mergeDur
+	agg.Solve += jointSolve
+	agg.Total = time.Since(start) // wall time, not the sum of stage times
+	res.Stages = agg
+	return res, nil
+}
+
+// AnalyzeClasses measures, for each kind of secret, how much of it this
+// execution reveals, by running the analysis once per class with only that
+// class's input bytes marked secret (§10.1: "our analysis can be used
+// independently for each kind of secret"). Classes are analyzed in
+// parallel on worker sessions (machine and solver reused; trackers are
+// per-class, since each class marks different bytes secret). The per-class
+// bounds may sum to more than a joint analysis reports, since the classes
+// share output capacity (the crowding-out effect the paper discusses).
+func (a *Analyzer) AnalyzeClasses(in Inputs, classes []SecretClass) ([]ClassResult, error) {
+	out := make([]ClassResult, len(classes))
+	a.fanOut(len(classes), func(s *session, i int) {
+		c := classes[i]
+		opts := a.cfg.Taint
+		opts.SecretRanges = []taint.StreamRange{{Off: c.Off, Len: c.Len}}
+		res := a.runStages(s, taint.New(opts), in)
+		out[i] = ClassResult{Class: c, Bits: res.Bits, Cut: res.CutString()}
+	})
+	return out, nil
+}
+
+func addStats(dst *taint.Stats, s taint.Stats) {
+	dst.Elements += s.Elements
+	dst.LabelledEdges += s.LabelledEdges
+	dst.ImplicitEdges += s.ImplicitEdges
+	dst.DescriptorFlush += s.DescriptorFlush
+	dst.RegionsEntered += s.RegionsEntered
+	dst.AutoOutputs += s.AutoOutputs
+	dst.OutputBytes += s.OutputBytes
+	dst.SecretInputBytes += s.SecretInputBytes
+}

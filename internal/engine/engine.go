@@ -1,0 +1,267 @@
+// Package engine is the staged analysis pipeline behind the public core
+// API. One analysis is four explicit stages:
+//
+//	Execute  run the guest on the VM with the taint tracker attached
+//	Build    turn the tracker's union-find state into a flow network
+//	Solve    compute the maximum flow and minimum cut over it
+//	Report   assemble the Result (tainting baseline, diagnostics, stats)
+//
+// An Analyzer binds a program to a configuration and owns a pool of
+// sessions — machine, tracker, and max-flow solver — whose buffers are
+// reused across runs (vm.Machine.Reset, taint.Tracker.ResetAll, and the
+// solver's internal scratch), so repeated analyses stop paying the
+// per-run allocation cost of a fresh 4 MiB guest memory and residual
+// network.
+//
+// On top of the single-run pipeline, AnalyzeBatch fans N executions across
+// worker sessions and merges the per-run graphs by code location
+// (internal/merge), preserving the cross-run soundness of §3.2 while
+// running executions in parallel; AnalyzeClasses does the same fan-out over
+// per-class secret rangings (§10.1). Both are deterministic: per-run graphs
+// are merged in run order, independent of worker count or scheduling.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/lang"
+	"flowcheck/internal/maxflow"
+	"flowcheck/internal/taint"
+	"flowcheck/internal/vm"
+)
+
+// Config controls an analysis.
+type Config struct {
+	// Taint configures the tracker (collapsing, context sensitivity, lazy
+	// region limits, implicit-flow warnings).
+	Taint taint.Options
+	// Algorithm selects the max-flow algorithm (default Dinic).
+	Algorithm maxflow.Algorithm
+	// MemSize is the guest memory size (default vm.DefaultMemSize).
+	MemSize int
+	// MaxSteps bounds guest execution (default vm.DefaultMaxSteps).
+	MaxSteps uint64
+	// Workers bounds the fan-out of AnalyzeBatch and AnalyzeClasses;
+	// 0 means GOMAXPROCS. Single-run analysis ignores it.
+	Workers int
+}
+
+// Inputs is one execution's input pair: the secret input whose disclosure
+// is measured, and the public input (fixed in the attack model of §3.1).
+type Inputs struct {
+	Secret []byte
+	Public []byte
+}
+
+// session is one worker's reusable execution state: the guest machine (with
+// its memory buffer), the default tracker, and the solver with its residual
+// network. Sessions are pooled by the Analyzer and are not safe for
+// concurrent use; each worker goroutine holds its own.
+type session struct {
+	m       *vm.Machine
+	tracker *taint.Tracker
+	solver  *maxflow.Solver
+	used    bool // machine has executed and needs Reset before reuse
+}
+
+// prepare readies the machine for one run.
+func (s *session) prepare(cfg Config, in Inputs) {
+	if s.used {
+		s.m.Reset()
+	}
+	s.used = true
+	if cfg.MaxSteps != 0 {
+		s.m.MaxSteps = cfg.MaxSteps
+	}
+	s.m.SecretIn = in.Secret
+	s.m.PublicIn = in.Public
+}
+
+// freshTracker returns the session's tracker reset to a blank state (empty
+// graph, §3.2 accumulation discarded), creating it on first use.
+func (s *session) freshTracker(opts taint.Options) *taint.Tracker {
+	if s.tracker == nil {
+		s.tracker = taint.New(opts)
+	} else {
+		s.tracker.ResetAll()
+	}
+	return s.tracker
+}
+
+// Analyzer runs the staged pipeline for one program under one
+// configuration, reusing pooled sessions across calls. It is safe for
+// concurrent use: concurrent calls draw distinct sessions from the pool.
+type Analyzer struct {
+	prog *vm.Program
+	cfg  Config
+	pool sync.Pool
+}
+
+// New creates an Analyzer for prog under cfg.
+func New(prog *vm.Program, cfg Config) *Analyzer {
+	a := &Analyzer{prog: prog, cfg: cfg}
+	a.pool.New = func() any {
+		size := a.cfg.MemSize
+		if size == 0 {
+			size = vm.DefaultMemSize
+		}
+		return &session{
+			m:      vm.NewMachineSize(a.prog, size),
+			solver: maxflow.NewSolver(a.cfg.Algorithm),
+		}
+	}
+	return a
+}
+
+// Program returns the analyzed program.
+func (a *Analyzer) Program() *vm.Program { return a.prog }
+
+// Config returns the analyzer's configuration.
+func (a *Analyzer) Config() Config { return a.cfg }
+
+func (a *Analyzer) acquire() *session  { return a.pool.Get().(*session) }
+func (a *Analyzer) release(s *session) { a.pool.Put(s) }
+
+// runStages executes the four pipeline stages for one input on a session,
+// with the given tracker (which the caller has reset appropriately: fresh
+// for independent runs, carried over for online §3.2 accumulation).
+func (a *Analyzer) runStages(s *session, tr *taint.Tracker, in Inputs) *Result {
+	var st StageStats
+
+	t0 := time.Now()
+	s.prepare(a.cfg, in)
+	tr.Attach(s.m)
+	trapErr := s.m.Run()
+	t1 := time.Now()
+	st.Execute = t1.Sub(t0)
+
+	g := tr.Graph()
+	t2 := time.Now()
+	st.Build = t2.Sub(t1)
+
+	flow := s.solver.Solve(g)
+	cut := flow.MinCut()
+	t3 := time.Now()
+	st.Solve = t3.Sub(t2)
+
+	// Report: the tainting bound counts only data actually written out, not
+	// the unbounded chain links that model output ordering.
+	var taintedOut int64
+	for _, e := range g.Edges {
+		if e.To == flowgraph.Sink && e.Label.Kind == flowgraph.KindOutput {
+			taintedOut += e.Cap
+		}
+	}
+	res := &Result{
+		Bits:              flow.Flow,
+		TaintedOutputBits: taintedOut,
+		Graph:             g,
+		Flow:              flow,
+		Cut:               cut,
+		Output:            s.m.Output,
+		ExitCode:          s.m.ExitCode,
+		Steps:             s.m.Steps,
+		Trap:              trapErr,
+		Warnings:          tr.Warnings(),
+		Snapshots:         tr.Snapshots(),
+		Stats:             tr.Stats(),
+		prog:              a.prog,
+	}
+	st.Report = time.Since(t3)
+	st.Total = time.Since(t0)
+	res.Stages = st
+	return res
+}
+
+// Analyze runs one execution through the staged pipeline on a pooled
+// session.
+func (a *Analyzer) Analyze(in Inputs) (*Result, error) {
+	s := a.acquire()
+	defer a.release(s)
+	return a.runStages(s, a.sessionTracker(s), in), nil
+}
+
+func (a *Analyzer) sessionTracker(s *session) *taint.Tracker {
+	return s.freshTracker(a.cfg.Taint)
+}
+
+// AnalyzeMulti analyzes several executions together on one session: the
+// tracker is kept across runs (taint.Tracker.Reset), so graphs merge by
+// code location online and the final bound has the cross-run consistency of
+// §3.2. The returned result reflects the combined graph, with per-run
+// summaries in Runs; Output, ExitCode, Steps, and Trap are the last run's.
+func (a *Analyzer) AnalyzeMulti(inputs []Inputs) (*Result, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("engine: no inputs")
+	}
+	s := a.acquire()
+	defer a.release(s)
+	tr := a.sessionTracker(s)
+	var res *Result
+	var agg StageStats
+	runs := make([]RunSummary, 0, len(inputs))
+	for i, in := range inputs {
+		if i > 0 {
+			tr.Reset()
+		}
+		res = a.runStages(s, tr, in)
+		agg.add(res.Stages)
+		runs = append(runs, summarize(i, res))
+	}
+	res.Runs = runs
+	res.Stages = agg
+	return res, nil
+}
+
+// AnalyzeSource compiles MiniC source and analyzes one execution.
+func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error) {
+	prog, err := lang.Compile(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog, in, cfg)
+}
+
+// Analyze runs one execution of prog under the analysis.
+func Analyze(prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
+	return New(prog, cfg).Analyze(in)
+}
+
+// AnalyzeMulti analyzes several executions together; see
+// (*Analyzer).AnalyzeMulti.
+func AnalyzeMulti(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return New(prog, cfg).AnalyzeMulti(inputs)
+}
+
+// AnalyzeBatch analyzes several executions in parallel; see
+// (*Analyzer).AnalyzeBatch.
+func AnalyzeBatch(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return New(prog, cfg).AnalyzeBatch(inputs)
+}
+
+// AnalyzeClasses measures per-class disclosure in parallel; see
+// (*Analyzer).AnalyzeClasses.
+func AnalyzeClasses(prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
+	return New(prog, cfg).AnalyzeClasses(in, classes)
+}
+
+// RunPlain executes prog uninstrumented (the baseline for overhead
+// comparisons, and the second machine of the §6.3 lockstep checker). The
+// machine escapes to the caller, so it is not drawn from a session pool.
+func RunPlain(prog *vm.Program, in Inputs, cfg Config) (*vm.Machine, error) {
+	size := cfg.MemSize
+	if size == 0 {
+		size = vm.DefaultMemSize
+	}
+	m := vm.NewMachineSize(prog, size)
+	if cfg.MaxSteps != 0 {
+		m.MaxSteps = cfg.MaxSteps
+	}
+	m.SecretIn = in.Secret
+	m.PublicIn = in.Public
+	err := m.Run()
+	return m, err
+}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/maxflow"
+	"flowcheck/internal/taint"
+	"flowcheck/internal/vm"
+)
+
+// Result reports one analysis.
+type Result struct {
+	// Bits is the headline number: the maximum flow from secret inputs to
+	// public outputs, in bits.
+	Bits int64
+
+	// TaintedOutputBits is what plain tainting would report: the total
+	// capacity of edges into the sink (§7).
+	TaintedOutputBits int64
+
+	// Graph is the constructed flow network; Flow and Cut the max-flow
+	// result and a minimum cut over it.
+	Graph *flowgraph.Graph
+	Flow  *maxflow.Result
+	Cut   *maxflow.Cut
+
+	// Execution facts. For multi-run results these are the last run's; the
+	// per-run view is in Runs.
+	Output   []byte
+	ExitCode vm.Word
+	Steps    uint64
+	Trap     error // non-nil if the guest trapped (result still sound for the partial run)
+
+	Warnings  []taint.Warning
+	Snapshots []taint.Snapshot
+	Stats     taint.Stats
+
+	// Runs summarizes each execution of a multi-run analysis (AnalyzeMulti,
+	// AnalyzeBatch), in run order; nil for single-run results.
+	Runs []RunSummary
+
+	// Stages records where the pipeline spent its time. For multi-run
+	// results the per-stage durations are summed across runs (so under
+	// parallel batch they exceed Total, which is wall time).
+	Stages StageStats
+
+	prog *vm.Program
+}
+
+// RunSummary is the per-execution record of a multi-run analysis.
+type RunSummary struct {
+	// Run is the index into the input slice.
+	Run int
+	// Bits is the bound after this run: for AnalyzeMulti the cumulative
+	// joint bound of runs 0..Run (non-decreasing, last equals Result.Bits);
+	// for AnalyzeBatch the run's standalone bound (the joint Result.Bits is
+	// at least the maximum of these).
+	Bits int64
+	// OutputBytes is the run's public output length.
+	OutputBytes int
+	// Steps is the run's executed instruction count.
+	Steps uint64
+	// ExitCode is the guest's exit code.
+	ExitCode vm.Word
+	// Trapped reports whether the run ended in a trap.
+	Trapped bool
+}
+
+func summarize(run int, r *Result) RunSummary {
+	return RunSummary{
+		Run:         run,
+		Bits:        r.Bits,
+		OutputBytes: len(r.Output),
+		Steps:       r.Steps,
+		ExitCode:    r.ExitCode,
+		Trapped:     r.Trap != nil,
+	}
+}
+
+// StageStats is the engine's observability seam: wall time per pipeline
+// stage. Multi-run results sum stages across runs; Merge covers the offline
+// §3.2 graph merge (batch only) and Solve includes the joint solve.
+type StageStats struct {
+	Execute time.Duration // VM run with tracker attached
+	Build   time.Duration // tracker state -> flow network
+	Solve   time.Duration // max flow + min cut
+	Report  time.Duration // result assembly
+	Merge   time.Duration // offline cross-run graph merge (batch)
+	Total   time.Duration // wall time for the whole analysis
+}
+
+func (st *StageStats) add(o StageStats) {
+	st.Execute += o.Execute
+	st.Build += o.Build
+	st.Solve += o.Solve
+	st.Report += o.Report
+	st.Merge += o.Merge
+	st.Total += o.Total
+}
+
+func (st StageStats) String() string {
+	s := fmt.Sprintf("execute %v, build %v, solve %v, report %v", st.Execute, st.Build, st.Solve, st.Report)
+	if st.Merge > 0 {
+		s += fmt.Sprintf(", merge %v", st.Merge)
+	}
+	return s + fmt.Sprintf(", total %v", st.Total)
+}
+
+// SecretClass names one kind of secret within the secret input stream
+// (paper §10.1): the bytes [Off, Off+Len).
+type SecretClass struct {
+	Name string
+	Off  int
+	Len  int
+}
+
+// ClassResult is the per-class disclosure measurement.
+type ClassResult struct {
+	Class SecretClass
+	Bits  int64
+	Cut   string
+}
+
+// CutEdge is a human-readable description of one minimum-cut edge: a
+// program location whose carried bits bound the information revealed
+// (§6.1). Cut descriptions drive both checking modes of §6.
+type CutEdge struct {
+	Where string
+	Kind  flowgraph.EdgeKind
+	Bits  int64
+	Label flowgraph.Label
+}
+
+// DescribeCut renders the minimum cut against the program's site table,
+// most-capacious edges first.
+func (r *Result) DescribeCut() []CutEdge {
+	if r.Cut == nil {
+		return nil
+	}
+	out := make([]CutEdge, 0, len(r.Cut.EdgeIndex))
+	for _, idx := range r.Cut.EdgeIndex {
+		e := r.Graph.Edges[idx]
+		where := fmt.Sprintf("site %d", e.Label.Site)
+		if r.prog != nil && int(e.Label.Site) < len(r.prog.Code) {
+			where = r.prog.SiteString(r.prog.Code[e.Label.Site].Site)
+		}
+		out = append(out, CutEdge{Where: where, Kind: e.Label.Kind, Bits: e.Cap, Label: e.Label})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bits != out[j].Bits {
+			return out[i].Bits > out[j].Bits
+		}
+		return out[i].Where < out[j].Where
+	})
+	return out
+}
+
+// CutString formats the cut for reports: "9 bits = 8@file:3(f)[internal] + 1@file:14(f)[implicit]".
+func (r *Result) CutString() string {
+	edges := r.DescribeCut()
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = fmt.Sprintf("%d@%s[%s]", e.Bits, e.Where, e.Kind)
+	}
+	return fmt.Sprintf("%d bits = %s", r.Bits, strings.Join(parts, " + "))
+}
+
+// CutSites returns the distinct instruction addresses (graph label sites)
+// on the minimum cut; the checking modes of §6 use them as the trusted
+// boundary. A result with no computed cut has no sites.
+func (r *Result) CutSites() []uint32 {
+	if r.Cut == nil {
+		return nil
+	}
+	seen := map[uint32]bool{}
+	var sites []uint32
+	for _, idx := range r.Cut.EdgeIndex {
+		s := r.Graph.Edges[idx].Label.Site
+		if !seen[s] {
+			seen[s] = true
+			sites = append(sites, s)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites
+}

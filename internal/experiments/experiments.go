@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -613,4 +614,70 @@ func Divzero() (zeroBits, nonzeroBits int64) {
 	z := mustAnalyze("divzero", core.Inputs{Secret: []byte{9, 0, 0, 0, 0, 0, 0, 0}}, core.Config{})
 	nz := mustAnalyze("divzero", core.Inputs{Secret: []byte{9, 0, 0, 0, 3, 0, 0, 0}}, core.Config{})
 	return z.Bits, nz.Bits
+}
+
+// ------------------------------------------------ Engine batch throughput ---
+
+// BatchResult measures the staged engine's parallel batch path against
+// serial analysis over the same executions of the compression case study
+// (ROADMAP: multi-execution throughput as the first scaling axis).
+type BatchResult struct {
+	Guest      string
+	Runs       int
+	Workers    int // GOMAXPROCS at measurement time
+	JointBits  int64
+	PerRunBits []int64
+
+	Serial time.Duration // N independent Analyze calls (fresh state each)
+	Multi  time.Duration // online AnalyzeMulti (§3.2 accumulation)
+	Batch1 time.Duration // AnalyzeBatch, 1 worker, pooled sessions
+	BatchN time.Duration // AnalyzeBatch, GOMAXPROCS workers
+
+	Agree bool // AnalyzeBatch and AnalyzeMulti report the same joint Bits
+}
+
+// Batch runs the comparison over `runs` compress executions with growing
+// secret inputs.
+func Batch(runs int) BatchResult {
+	prog := guest.Program("compress")
+	inputs := make([]core.Inputs, runs)
+	for i := range inputs {
+		inputs[i] = core.Inputs{Secret: workload.PiWords(512 + 64*i)}
+	}
+	r := BatchResult{Guest: "compress", Runs: runs, Workers: runtime.GOMAXPROCS(0)}
+
+	t0 := time.Now()
+	for _, in := range inputs {
+		res, err := core.Analyze(prog, in, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		r.PerRunBits = append(r.PerRunBits, res.Bits)
+	}
+	r.Serial = time.Since(t0)
+
+	t0 = time.Now()
+	multi, err := core.AnalyzeMulti(prog, inputs, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	r.Multi = time.Since(t0)
+
+	t0 = time.Now()
+	b1, err := core.AnalyzeBatch(prog, inputs, core.Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	r.Batch1 = time.Since(t0)
+
+	t0 = time.Now()
+	bn, err := core.AnalyzeBatch(prog, inputs, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	r.BatchN = time.Since(t0)
+
+	r.JointBits = bn.Bits
+	r.Agree = bn.Bits == multi.Bits && b1.Bits == multi.Bits
+	return r
 }

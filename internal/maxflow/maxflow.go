@@ -6,6 +6,11 @@
 // produce), Edmonds–Karp (a simple augmenting-path baseline), and FIFO
 // push-relabel. All operate on a shared residual representation and feed
 // the same min-cut extraction.
+//
+// A Solver owns the residual network and per-algorithm scratch buffers and
+// reuses them across Solve calls, so a long-lived analysis session (one
+// engine worker solving many per-run graphs) allocates only the results.
+// Compute is the one-shot convenience wrapper.
 package maxflow
 
 import (
@@ -36,39 +41,54 @@ func (a Algorithm) String() string {
 	return "unknown"
 }
 
-// Result holds a computed maximum flow.
+// Result holds a computed maximum flow and its minimum cut. It is
+// self-contained: it does not reference solver scratch buffers, so it stays
+// valid after the solver moves on to other graphs.
 type Result struct {
 	// Flow is the value of the maximum flow from Source to Sink, in bits.
 	Flow int64
 	// EdgeFlow[i] is the flow routed through graph edge i.
 	EdgeFlow []int64
 
-	g   *flowgraph.Graph
-	net *network
+	cut *Cut
 }
 
-// network is the residual representation: each original edge i becomes arc
-// 2i (forward) and 2i+1 (backward).
+// network is the residual representation in compressed-sparse-row form:
+// each original edge i becomes arc 2i (forward) and 2i+1 (backward);
+// harcs[hstart[v]:hstart[v+1]] lists node v's incident arc ids in edge
+// order. The arrays are reused across builds.
 type network struct {
-	head  [][]int32 // head[node] = incident arc ids
-	to    []int32
-	resid []int64
+	n      int
+	hstart []int32
+	harcs  []int32
+	cur    []int32 // build scratch: per-node fill cursor
+	to     []int32
+	resid  []int64
 }
 
-func build(g *flowgraph.Graph) *network {
+func (net *network) arcs(v int32) []int32 {
+	return net.harcs[net.hstart[v]:net.hstart[v+1]]
+}
+
+func (net *network) build(g *flowgraph.Graph) {
 	n := g.NumNodes()
-	net := &network{
-		head:  make([][]int32, n),
-		to:    make([]int32, 2*len(g.Edges)),
-		resid: make([]int64, 2*len(g.Edges)),
+	e2 := 2 * len(g.Edges)
+	net.n = n
+	net.hstart = i32n(net.hstart, n+1)
+	net.cur = i32n(net.cur, n)
+	net.harcs = i32n(net.harcs, e2)
+	net.to = i32n(net.to, e2)
+	net.resid = i64n(net.resid, e2)
+	for i := range net.hstart {
+		net.hstart[i] = 0
 	}
-	deg := make([]int32, n)
 	for _, e := range g.Edges {
-		deg[e.From]++
-		deg[e.To]++
+		net.hstart[e.From+1]++
+		net.hstart[e.To+1]++
 	}
-	for v := range net.head {
-		net.head[v] = make([]int32, 0, deg[v])
+	for v := 0; v < n; v++ {
+		net.hstart[v+1] += net.hstart[v]
+		net.cur[v] = net.hstart[v]
 	}
 	for i, e := range g.Edges {
 		f := int32(2 * i)
@@ -76,59 +96,98 @@ func build(g *flowgraph.Graph) *network {
 		net.resid[f] = e.Cap
 		net.to[f+1] = int32(e.From)
 		net.resid[f+1] = 0
-		net.head[e.From] = append(net.head[e.From], f)
-		net.head[e.To] = append(net.head[e.To], f+1)
+		net.harcs[net.cur[e.From]] = f
+		net.cur[e.From]++
+		net.harcs[net.cur[e.To]] = f + 1
+		net.cur[e.To]++
 	}
-	return net
 }
 
-// Compute runs the selected algorithm and returns the maximum flow from
-// flowgraph.Source to flowgraph.Sink.
-func Compute(g *flowgraph.Graph, algo Algorithm) *Result {
-	net := build(g)
+// Solver computes maximum flows with reusable buffers: the residual network
+// and all per-algorithm scratch persist across Solve calls. A Solver is not
+// safe for concurrent use; pooled analysis sessions hold one each.
+type Solver struct {
+	algo Algorithm
+	net  network
+
+	// Augmenting-path scratch (Dinic, Edmonds–Karp).
+	level   []int32
+	iter    []int32
+	queue   []int32
+	prevArc []int32
+
+	// Push-relabel scratch.
+	height  []int32
+	newH    []int32
+	bfsq    []int32
+	excess  []int64
+	inQueue []bool
+}
+
+// NewSolver returns a solver running the given algorithm.
+func NewSolver(algo Algorithm) *Solver { return &Solver{algo: algo} }
+
+// Algorithm reports the solver's configured algorithm.
+func (s *Solver) Algorithm() Algorithm { return s.algo }
+
+// Solve computes the maximum flow and minimum cut of g, reusing the
+// solver's buffers. The returned Result (including its cut) is detached
+// from the solver and stays valid across subsequent Solve calls.
+func (s *Solver) Solve(g *flowgraph.Graph) *Result {
+	s.net.build(g)
 	var flow int64
-	switch algo {
-	case EdmondsKarp:
-		flow = edmondsKarp(net)
-	case PushRelabel:
-		flow = pushRelabel(net)
-	default:
-		flow = dinic(net)
+	if s.net.n > int(flowgraph.Sink) {
+		switch s.algo {
+		case EdmondsKarp:
+			flow = s.edmondsKarp()
+		case PushRelabel:
+			flow = s.pushRelabel()
+		default:
+			flow = s.dinic()
+		}
 	}
-	res := &Result{Flow: flow, EdgeFlow: make([]int64, len(g.Edges)), g: g, net: net}
+	res := &Result{Flow: flow, EdgeFlow: make([]int64, len(g.Edges))}
 	for i, e := range g.Edges {
-		res.EdgeFlow[i] = e.Cap - net.resid[2*i]
+		res.EdgeFlow[i] = e.Cap - s.net.resid[2*i]
 	}
+	res.cut = s.minCut(g)
 	return res
 }
 
-func dinic(net *network) int64 {
-	n := len(net.head)
-	if n <= int(flowgraph.Sink) {
-		return 0
+// Compute runs the selected algorithm once and returns the maximum flow
+// from flowgraph.Source to flowgraph.Sink.
+func Compute(g *flowgraph.Graph, algo Algorithm) *Result {
+	return NewSolver(algo).Solve(g)
+}
+
+func (s *Solver) dinic() int64 {
+	net := &s.net
+	n := net.n
+	s.level = i32n(s.level, n)
+	s.iter = i32n(s.iter, n)
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
 	}
-	level := make([]int32, n)
-	iter := make([]int32, n)
-	queue := make([]int32, 0, n)
-	s, t := int32(flowgraph.Source), int32(flowgraph.Sink)
+	level, iter := s.level, s.iter
+	src, t := int32(flowgraph.Source), int32(flowgraph.Sink)
 
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
-		level[s] = 0
-		queue = append(queue[:0], s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, a := range net.head[v] {
+		level[src] = 0
+		q := append(s.queue[:0], src)
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			for _, a := range net.arcs(v) {
 				w := net.to[a]
 				if net.resid[a] > 0 && level[w] < 0 {
 					level[w] = level[v] + 1
-					queue = append(queue, w)
+					q = append(q, w)
 				}
 			}
 		}
+		s.queue = q[:0]
 		return level[t] >= 0
 	}
 
@@ -137,8 +196,8 @@ func dinic(net *network) int64 {
 		if v == t {
 			return limit
 		}
-		for ; iter[v] < int32(len(net.head[v])); iter[v]++ {
-			a := net.head[v][iter[v]]
+		for width := net.hstart[v+1] - net.hstart[v]; iter[v] < width; iter[v]++ {
+			a := net.harcs[net.hstart[v]+iter[v]]
 			w := net.to[a]
 			if net.resid[a] <= 0 || level[w] != level[v]+1 {
 				continue
@@ -163,7 +222,7 @@ func dinic(net *network) int64 {
 			iter[i] = 0
 		}
 		for {
-			pushed := dfs(s, math.MaxInt64)
+			pushed := dfs(src, math.MaxInt64)
 			if pushed == 0 {
 				break
 			}
@@ -173,27 +232,27 @@ func dinic(net *network) int64 {
 	return total
 }
 
-func edmondsKarp(net *network) int64 {
-	n := len(net.head)
-	if n <= int(flowgraph.Sink) {
-		return 0
+func (s *Solver) edmondsKarp() int64 {
+	net := &s.net
+	n := net.n
+	s.prevArc = i32n(s.prevArc, n)
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
 	}
-	s, t := int32(flowgraph.Source), int32(flowgraph.Sink)
-	prevArc := make([]int32, n)
-	queue := make([]int32, 0, n)
+	prevArc := s.prevArc
+	src, t := int32(flowgraph.Source), int32(flowgraph.Sink)
 	var total int64
 	for {
 		for i := range prevArc {
 			prevArc[i] = -1
 		}
-		prevArc[s] = -2
-		queue = append(queue[:0], s)
+		prevArc[src] = -2
+		q := append(s.queue[:0], src)
 		found := false
 	bfs:
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, a := range net.head[v] {
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			for _, a := range net.arcs(v) {
 				w := net.to[a]
 				if net.resid[a] > 0 && prevArc[w] == -1 {
 					prevArc[w] = a
@@ -201,23 +260,24 @@ func edmondsKarp(net *network) int64 {
 						found = true
 						break bfs
 					}
-					queue = append(queue, w)
+					q = append(q, w)
 				}
 			}
 		}
+		s.queue = q[:0]
 		if !found {
 			return total
 		}
 		// Find bottleneck along the path.
 		bottleneck := int64(math.MaxInt64)
-		for v := t; v != s; {
+		for v := t; v != src; {
 			a := prevArc[v]
 			if net.resid[a] < bottleneck {
 				bottleneck = net.resid[a]
 			}
 			v = net.to[a^1]
 		}
-		for v := t; v != s; {
+		for v := t; v != src; {
 			a := prevArc[v]
 			net.resid[a] -= bottleneck
 			net.resid[a^1] += bottleneck
@@ -240,26 +300,32 @@ type Cut struct {
 	SourceSide []bool
 }
 
-// MinCut derives a minimum cut from a computed maximum flow (paper §6.1):
-// nodes reachable from Source along residual-capacity paths form the source
-// side; crossing edges form the cut.
-func (r *Result) MinCut() *Cut {
-	n := len(r.net.head)
-	seen := make([]bool, n)
-	stack := []int32{int32(flowgraph.Source)}
+// MinCut returns the minimum cut derived from the computed maximum flow
+// (paper §6.1): nodes reachable from Source along residual-capacity paths
+// form the source side; crossing edges form the cut. The cut is extracted
+// eagerly by Solve, so this is a field access.
+func (r *Result) MinCut() *Cut { return r.cut }
+
+// minCut extracts the cut from the terminal residual network. SourceSide
+// escapes into the Cut, so it is allocated fresh; the DFS stack is scratch.
+func (s *Solver) minCut(g *flowgraph.Graph) *Cut {
+	net := &s.net
+	seen := make([]bool, net.n)
+	stack := append(s.queue[:0], int32(flowgraph.Source))
 	seen[flowgraph.Source] = true
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range r.net.head[v] {
-			if w := r.net.to[a]; r.net.resid[a] > 0 && !seen[w] {
+		for _, a := range net.arcs(v) {
+			if w := net.to[a]; net.resid[a] > 0 && !seen[w] {
 				seen[w] = true
 				stack = append(stack, w)
 			}
 		}
 	}
+	s.queue = stack[:0]
 	cut := &Cut{SourceSide: seen}
-	for i, e := range r.g.Edges {
+	for i, e := range g.Edges {
 		if seen[e.From] && !seen[e.To] {
 			cut.EdgeIndex = append(cut.EdgeIndex, i)
 			cut.Capacity += e.Cap
@@ -275,4 +341,26 @@ func (c *Cut) Edges(g *flowgraph.Graph) []flowgraph.Edge {
 		out[i] = g.Edges[idx]
 	}
 	return out
+}
+
+// i32n returns a length-n []int32, reusing s's backing array if it fits.
+func i32n(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func i64n(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func booln(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

@@ -20,19 +20,28 @@ import "flowcheck/internal/flowgraph"
 // The algorithm runs to completion (heights up to 2n), so leftover excess
 // drains back to the source and the terminal state is a genuine maximum
 // flow — the residual graph then yields the usual minimum cut.
-func pushRelabel(net *network) int64 {
-	n := len(net.head)
-	if n <= int(flowgraph.Sink) {
-		return 0
-	}
+//
+// All working arrays live on the Solver and are reused across Solve calls.
+func (sv *Solver) pushRelabel() int64 {
+	net := &sv.net
+	n := net.n
 	s, t := int32(flowgraph.Source), int32(flowgraph.Sink)
 
-	height := make([]int32, n)
-	excess := make([]int64, n)
-	iter := make([]int32, n)
+	sv.height = i32n(sv.height, n)
+	sv.excess = i64n(sv.excess, n)
+	sv.iter = i32n(sv.iter, n)
+	sv.inQueue = booln(sv.inQueue, n)
+	sv.newH = i32n(sv.newH, n)
+	height, excess, iter, inQueue := sv.height, sv.excess, sv.iter, sv.inQueue
+	newH := sv.newH
+	for i := 0; i < n; i++ {
+		height[i], excess[i], iter[i], inQueue[i] = 0, 0, 0, false
+	}
 
-	inQueue := make([]bool, n)
-	queue := make([]int32, 0, n)
+	if cap(sv.queue) < n {
+		sv.queue = make([]int32, 0, n)
+	}
+	queue := sv.queue[:0]
 	enqueue := func(v int32) {
 		if v != s && v != t && !inQueue[v] && excess[v] > 0 {
 			inQueue[v] = true
@@ -40,13 +49,15 @@ func pushRelabel(net *network) int64 {
 		}
 	}
 
-	bfsQueue := make([]int32, 0, n)
-	newH := make([]int32, n)
+	if cap(sv.bfsq) < n {
+		sv.bfsq = make([]int32, 0, n)
+	}
+	bfsQueue := sv.bfsq[:0]
 	// globalRelabel sets height[v] to the exact residual distance from v to
 	// the sink; nodes that cannot reach the sink get n plus their residual
 	// distance to the source (they can only return their excess). A reverse
 	// arc w->v is residual exactly when the paired arc's residual capacity
-	// (resid[b^1] for b in head[w]) is positive.
+	// (resid[b^1] for b incident to w) is positive.
 	globalRelabel := func() {
 		const unset = int32(1) << 30
 		for i := range newH {
@@ -54,10 +65,9 @@ func pushRelabel(net *network) int64 {
 		}
 		newH[t] = 0
 		bfsQueue = append(bfsQueue[:0], t)
-		for len(bfsQueue) > 0 {
-			u := bfsQueue[0]
-			bfsQueue = bfsQueue[1:]
-			for _, b := range net.head[u] {
+		for head := 0; head < len(bfsQueue); head++ {
+			u := bfsQueue[head]
+			for _, b := range net.arcs(u) {
 				x := net.to[b]
 				if newH[x] == unset && net.resid[b^1] > 0 {
 					newH[x] = newH[u] + 1
@@ -67,10 +77,9 @@ func pushRelabel(net *network) int64 {
 		}
 		newH[s] = int32(n)
 		bfsQueue = append(bfsQueue[:0], s)
-		for len(bfsQueue) > 0 {
-			u := bfsQueue[0]
-			bfsQueue = bfsQueue[1:]
-			for _, b := range net.head[u] {
+		for head := 0; head < len(bfsQueue); head++ {
+			u := bfsQueue[head]
+			for _, b := range net.arcs(u) {
 				x := net.to[b]
 				if newH[x] == unset && net.resid[b^1] > 0 {
 					newH[x] = newH[u] + 1
@@ -89,7 +98,7 @@ func pushRelabel(net *network) int64 {
 	}
 
 	// Saturate all arcs out of the source.
-	for _, a := range net.head[s] {
+	for _, a := range net.arcs(s) {
 		if net.resid[a] > 0 {
 			w := net.to[a]
 			amt := net.resid[a]
@@ -104,17 +113,16 @@ func pushRelabel(net *network) int64 {
 
 	// Re-run the global relabel every n work units (relabels).
 	relabels := 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		inQueue[v] = false
 
 		for excess[v] > 0 {
-			if iter[v] == int32(len(net.head[v])) {
+			if iter[v] == net.hstart[v+1]-net.hstart[v] {
 				// Relabel: the height invariant (h[v] <= h[w]+1 on residual
 				// arcs) guarantees the new height strictly increases.
 				minH := int32(2*n + 1)
-				for _, a := range net.head[v] {
+				for _, a := range net.arcs(v) {
 					if net.resid[a] > 0 {
 						if h := height[net.to[a]] + 1; h < minH {
 							minH = h
@@ -133,7 +141,7 @@ func pushRelabel(net *network) int64 {
 				}
 				continue
 			}
-			a := net.head[v][iter[v]]
+			a := net.harcs[net.hstart[v]+iter[v]]
 			w := net.to[a]
 			if net.resid[a] > 0 && height[v] == height[w]+1 {
 				amt := excess[v]
@@ -150,5 +158,7 @@ func pushRelabel(net *network) int64 {
 			}
 		}
 	}
+	sv.queue = queue[:0]
+	sv.bfsq = bfsQueue[:0]
 	return excess[t]
 }

@@ -22,6 +22,21 @@ import (
 // Unlabelled edges (Label zero value apart from Kind) merge like any
 // others; graphs built in exact mode carry unique labels and therefore
 // merge side by side without unification.
+// SaltLabels offsets every edge label's Ctx in g by salt<<44, in place.
+//
+// Exact-mode builders number their edges with a per-builder serial starting
+// at 1, so graphs produced by different trackers (as in the engine's
+// parallel batch path) carry colliding Ctx values that Graphs would wrongly
+// unify. Salting each run's graph with a distinct value keeps the labels
+// disjoint, so the runs merge side by side — exactly how a single
+// exact-mode tracker numbers successive runs online. Collapsed-mode graphs
+// must not be salted: there the label is the intentional merge key.
+func SaltLabels(g *flowgraph.Graph, salt uint64) {
+	for i := range g.Edges {
+		g.Edges[i].Label.Ctx += salt << 44
+	}
+}
+
 func Graphs(graphs ...*flowgraph.Graph) *flowgraph.Graph {
 	uf := unionfind.New(0)
 	srcEl := uf.MakeSet()

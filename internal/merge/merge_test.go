@@ -1,4 +1,4 @@
-package merge
+package merge_test
 
 import (
 	"testing"
@@ -8,6 +8,7 @@ import (
 	"flowcheck/internal/kraft"
 	"flowcheck/internal/lang"
 	"flowcheck/internal/maxflow"
+	"flowcheck/internal/merge"
 	"flowcheck/internal/taint"
 )
 
@@ -30,7 +31,7 @@ func chainGraph(site uint32, caps ...int64) *flowgraph.Graph {
 func TestMergeIdenticalGraphsSumsCapacity(t *testing.T) {
 	g1 := chainGraph(1, 8, 3)
 	g2 := chainGraph(1, 8, 3)
-	m := Graphs(g1, g2)
+	m := merge.Graphs(g1, g2)
 	if m.NumEdges() != 2 {
 		t.Fatalf("merged edges = %d, want 2", m.NumEdges())
 	}
@@ -42,7 +43,7 @@ func TestMergeIdenticalGraphsSumsCapacity(t *testing.T) {
 func TestMergeDisjointLabelsSideBySide(t *testing.T) {
 	g1 := chainGraph(1, 5)
 	g2 := chainGraph(2, 7)
-	m := Graphs(g1, g2)
+	m := merge.Graphs(g1, g2)
 	if f := maxflow.Compute(m, maxflow.Dinic).Flow; f != 12 {
 		t.Fatalf("merged flow = %d, want 12 (parallel paths)", f)
 	}
@@ -50,7 +51,7 @@ func TestMergeDisjointLabelsSideBySide(t *testing.T) {
 
 func TestMergeSingleGraphIsIdentity(t *testing.T) {
 	g := chainGraph(1, 8, 3, 9)
-	m := Graphs(g)
+	m := merge.Graphs(g)
 	if maxflow.Compute(m, maxflow.Dinic).Flow != maxflow.Compute(g, maxflow.Dinic).Flow {
 		t.Fatal("merging one graph changed its flow")
 	}
@@ -61,7 +62,7 @@ func TestMergedFlowAtLeastMaxOfRuns(t *testing.T) {
 	// at least each individual flow.
 	g1 := chainGraph(1, 8, 2)
 	g2 := chainGraph(1, 8, 5)
-	m := Graphs(g1, g2)
+	m := merge.Graphs(g1, g2)
 	f := maxflow.Compute(m, maxflow.Dinic).Flow
 	if f < 5 {
 		t.Fatalf("merged flow %d below individual max", f)
@@ -122,7 +123,7 @@ func TestUnaryBinaryConsistency(t *testing.T) {
 
 	// The merged graph gives one jointly-sound bound >= 8 bits, and using
 	// it for every run satisfies Kraft.
-	m := Graphs(graphs...)
+	m := merge.Graphs(graphs...)
 	f := maxflow.Compute(m, maxflow.Dinic).Flow
 	if f < 8 {
 		t.Fatalf("merged bound %d < 8 is jointly unsound", f)
@@ -158,7 +159,7 @@ func TestOfflineMergeMatchesOnline(t *testing.T) {
 		}
 		graphs = append(graphs, res.Graph)
 	}
-	offline := maxflow.Compute(Graphs(graphs...), maxflow.Dinic).Flow
+	offline := maxflow.Compute(merge.Graphs(graphs...), maxflow.Dinic).Flow
 	if offline != online.Bits {
 		t.Fatalf("offline merge %d != online multi-run %d", offline, online.Bits)
 	}

@@ -181,6 +181,24 @@ func (t *Tracker) Reset() {
 	t.m = nil
 }
 
+// ResetAll reinitializes the tracker for an unrelated execution, discarding
+// the accumulated graph, canonical elements, and diagnostics — unlike
+// Reset, which keeps them so successive runs merge online (§3.2). The
+// engine's pooled sessions call this between independent runs; the parallel
+// batch path then re-establishes §3.2 soundness by merging the per-run
+// graphs offline, by label.
+func (t *Tracker) ResetAll() {
+	t.Reset()
+	t.b = newBuilder(t.opts.Exact)
+	t.chainEl = t.b.element()
+	clear(t.regionCanon)
+	clear(t.chainCanon)
+	// Diagnostics escape into Results; release rather than truncate.
+	t.warnings = nil
+	t.snapshots = nil
+	t.stats = Stats{}
+}
+
 // Graph builds the flow graph for the execution so far.
 func (t *Tracker) Graph() *flowgraph.Graph { return t.b.build() }
 

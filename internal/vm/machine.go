@@ -80,6 +80,28 @@ func NewMachineSize(p *Program, memSize int) *Machine {
 	return m
 }
 
+// Reset returns the machine to its initial state for a fresh run of the
+// same program, reusing the memory buffer: data segment reloaded, registers
+// cleared, stack pointer at the top of memory. Inputs and hooks are
+// detached, and Output is released rather than truncated — the previous
+// run's Result may still hold it.
+func (m *Machine) Reset() {
+	clear(m.Mem)
+	copy(m.Mem[DataBase:], m.Prog.Data)
+	m.Regs = [NumRegs]Word{}
+	m.Regs[SP] = Word(len(m.Mem))
+	m.Regs[BP] = Word(len(m.Mem))
+	m.PC = m.Prog.Entry
+	m.Halted = false
+	m.ExitCode = 0
+	m.PublicIn, m.SecretIn = nil, nil
+	m.pubPos, m.secPos = 0, 0
+	m.Output = nil
+	m.Tracer = nil
+	m.AfterInstr = nil
+	m.Steps = 0
+}
+
 func (m *Machine) trap(in *Instr, format string, args ...interface{}) error {
 	return &Trap{PC: m.PC, Site: in.Site, Msg: fmt.Sprintf(format, args...) + " at " + m.Prog.SiteString(in.Site)}
 }
