@@ -43,6 +43,7 @@ var experimentsByName = []struct {
 	{"multiclass", "§10.1: different kinds of secret", runMultiClass},
 	{"interp", "§10.3: analyzing interpreted code", runInterp},
 	{"batch", "engine: parallel batch vs serial multi-run", runBatch},
+	{"degrade", "engine: solver-budget degradation tradeoff", runDegrade},
 }
 
 // timingRecord is the machine-readable per-experiment timing emitted by
@@ -255,6 +256,20 @@ func runBatch(sizes []int) {
 	fmt.Printf("AnalyzeBatch workers=%-2d: %10s  (%.2fx vs serial)\n",
 		r.Workers, r.BatchN.Round(time.Microsecond), float64(r.Serial)/float64(r.BatchN))
 	fmt.Printf("joint bound: %d bits; batch == multi: %v; per-run %v\n", r.JointBits, r.Agree, r.PerRunBits)
+}
+
+func runDegrade(sizes []int) {
+	n := 1024
+	if len(sizes) > 0 {
+		n = sizes[0]
+	}
+	r := experiments.Degrade(n)
+	fmt.Printf("%s, %d input bytes; exact max flow %d bits\n", r.Guest, n, r.ExactBits)
+	fmt.Println("  solver budget     bound  degraded     solve")
+	for _, p := range r.Points {
+		fmt.Printf("  %13d  %8d  %8v  %8s\n", p.Budget, p.Bits, p.Degraded, p.Solve.Round(time.Microsecond))
+	}
+	fmt.Println("(every budget yields a sound bound; exhausted solves fall back to the trivial cut)")
 }
 
 func runCollapse(sizes []int) {

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,8 +62,25 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowcheck:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps the engine's failure taxonomy to distinct exit codes, so
+// scripts can tell a guest that ran out of steps (3) from a timeout (4), an
+// exceeded resource budget (5), or an internal failure (6).
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrStepLimit):
+		return 3
+	case errors.Is(err, core.ErrCanceled):
+		return 4
+	case errors.Is(err, core.ErrBudget):
+		return 5
+	case errors.Is(err, core.ErrInternal):
+		return 6
+	}
+	return 1
 }
 
 func usage() {
@@ -177,6 +196,12 @@ func cmdRun(args []string) error {
 	secretDir := fs.String("secret-dir", "", "batch mode: one run per file in this directory (sorted), each file the run's secret input")
 	workers := fs.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 	stages := fs.Bool("stages", false, "print per-stage pipeline timings")
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (exit code 4)")
+	maxSteps := fs.Uint64("max-steps", 0, "guest step limit (0 = default; exhaustion is a typed trap, exit code 3)")
+	maxGraphNodes := fs.Int("max-graph-nodes", 0, "fail a run whose flow graph exceeds this many nodes (0 = unlimited)")
+	maxGraphEdges := fs.Int("max-graph-edges", 0, "fail a run whose flow graph exceeds this many edges (0 = unlimited)")
+	maxOutputBytes := fs.Int("max-output-bytes", 0, "fail a run whose public output exceeds this many bytes (0 = unlimited)")
+	solverBudget := fs.Int64("solver-budget", 0, "max-flow work budget in arc examinations; exhaustion degrades to the trivial-cut bound (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,11 +210,24 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg := core.Config{
-		Taint:   taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
-		Workers: *workers,
+		Taint:    taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
+		Workers:  *workers,
+		MaxSteps: *maxSteps,
+		Budget: core.Budget{
+			MaxGraphNodes:  *maxGraphNodes,
+			MaxGraphEdges:  *maxGraphEdges,
+			MaxOutputBytes: *maxOutputBytes,
+			SolverWork:     *solverBudget,
+		},
 	}
 	if *ek {
 		cfg.Algorithm = maxflow.EdmondsKarp
+	}
+	runCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
 	}
 	batch, err := batchInputs(in, *runs, *secretDir)
 	if err != nil {
@@ -197,27 +235,39 @@ func cmdRun(args []string) error {
 	}
 	var res *core.Result
 	if batch != nil {
-		res, err = core.AnalyzeBatch(prog, batch, cfg)
+		res, err = core.AnalyzeBatchContext(runCtx, prog, batch, cfg)
 	} else {
-		res, err = core.Analyze(prog, in, cfg)
+		res, err = core.AnalyzeContext(runCtx, prog, in, cfg)
 	}
 	if err != nil {
 		return err
 	}
 	if len(res.Runs) > 0 {
+		failed := 0
 		fmt.Printf("batch of %d runs:\n", len(res.Runs))
 		fmt.Println("  run  bits  output  steps")
 		for _, r := range res.Runs {
-			trapped := ""
+			note := ""
 			if r.Trapped {
-				trapped = "  (trapped)"
+				note = "  (trapped)"
 			}
-			fmt.Printf("  %3d  %4d  %5dB  %d%s\n", r.Run, r.Bits, r.OutputBytes, r.Steps, trapped)
+			if r.Err != nil {
+				note = fmt.Sprintf("  EXCLUDED: %v", r.Err)
+				failed++
+			}
+			fmt.Printf("  %3d  %4d  %5dB  %d%s\n", r.Run, r.Bits, r.OutputBytes, r.Steps, note)
 		}
-		fmt.Println("joint (merged by code location, §3.2):")
+		if failed > 0 {
+			fmt.Printf("joint (merged by code location, §3.2; %d failed runs excluded):\n", failed)
+		} else {
+			fmt.Println("joint (merged by code location, §3.2):")
+		}
 	}
 	if res.Trap != nil {
 		fmt.Printf("note: guest trapped: %v (results cover the partial run)\n", res.Trap)
+	}
+	if res.Degraded {
+		fmt.Printf("DEGRADED: %s; reporting the trivial-cut upper bound instead of max flow\n", res.DegradedReason)
 	}
 	if *showOut {
 		fmt.Printf("output (%d bytes): %q\n", len(res.Output), abbrev(res.Output))
@@ -231,8 +281,13 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("secret input: %d bytes; tainted output bound: %d bits\n",
 		secretBytes, res.TaintedOutputBits)
-	fmt.Printf("maximum flow: %d bits\n", res.Bits)
-	fmt.Printf("minimum cut: %s\n", res.CutString())
+	if res.Degraded {
+		fmt.Printf("flow bound (trivial-cut fallback): %d bits\n", res.Bits)
+		fmt.Println("minimum cut: unavailable (solve degraded)")
+	} else {
+		fmt.Printf("maximum flow: %d bits\n", res.Bits)
+		fmt.Printf("minimum cut: %s\n", res.CutString())
+	}
 	fmt.Printf("graph: %d nodes, %d edges; %d steps executed\n",
 		res.Graph.NumNodes(), res.Graph.NumEdges(), res.Steps)
 	if *stages {
@@ -257,6 +312,11 @@ func cmdRun(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *dot)
+	}
+	if errors.Is(res.Trap, core.ErrStepLimit) {
+		// Distinct from a guest fault: the bound above covers only the
+		// truncated execution, so surface the exhaustion as exit code 3.
+		return fmt.Errorf("guest exhausted its step limit after %d steps: %w", res.Steps, res.Trap)
 	}
 	return nil
 }

@@ -25,6 +25,8 @@
 package flowcheck
 
 import (
+	"context"
+
 	"flowcheck/internal/core"
 	"flowcheck/internal/lang"
 	"flowcheck/internal/maxflow"
@@ -57,6 +59,25 @@ type (
 	SecretClass = core.SecretClass
 	// ClassResult is the per-class disclosure measurement.
 	ClassResult = core.ClassResult
+	// Budget bounds the resources one analysis run may consume
+	// (Config.Budget); the zero value is unlimited.
+	Budget = core.Budget
+)
+
+// The failure taxonomy: every analysis failure matches exactly one of
+// these via errors.Is. Guest traps are reported on Result.Trap (the
+// partial run stays sound); solver-budget exhaustion degrades the result
+// (Result.Degraded) instead of failing it.
+var (
+	// ErrStepLimit marks a guest that exhausted its step budget
+	// (match against Result.Trap).
+	ErrStepLimit = core.ErrStepLimit
+	// ErrBudget marks a run that exceeded a resource budget.
+	ErrBudget = core.ErrBudget
+	// ErrCanceled marks a run aborted by its context.
+	ErrCanceled = core.ErrCanceled
+	// ErrInternal marks a recovered pipeline-stage panic.
+	ErrInternal = core.ErrInternal
 )
 
 // Max-flow algorithm selectors for Config.Algorithm.
@@ -71,6 +92,12 @@ func Compile(filename, src string) (*Program, error) { return lang.Compile(filen
 
 // Analyze runs one execution of a compiled program under the analysis.
 func Analyze(p *Program, in Inputs, cfg Config) (*Result, error) { return core.Analyze(p, in, cfg) }
+
+// AnalyzeContext is Analyze under a context: cancellation and deadlines
+// abort the run mid-execution with ErrCanceled.
+func AnalyzeContext(ctx context.Context, p *Program, in Inputs, cfg Config) (*Result, error) {
+	return core.AnalyzeContext(ctx, p, in, cfg)
+}
 
 // AnalyzeSource compiles and analyzes MiniC source in one step.
 func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error) {
@@ -92,10 +119,24 @@ func AnalyzeBatch(p *Program, inputs []Inputs, cfg Config) (*Result, error) {
 	return core.AnalyzeBatch(p, inputs, cfg)
 }
 
+// AnalyzeBatchContext is AnalyzeBatch under a context. Failed runs
+// (canceled, over budget, panicking, trapped) are recorded in their
+// RunSummary.Err and excluded from the merge; the joint bound covers the
+// surviving runs, and only an all-runs failure fails the batch.
+func AnalyzeBatchContext(ctx context.Context, p *Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return core.AnalyzeBatchContext(ctx, p, inputs, cfg)
+}
+
 // AnalyzeClasses measures the per-class disclosure of one execution
 // (§10.1), analyzing the classes in parallel.
 func AnalyzeClasses(p *Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
 	return core.AnalyzeClasses(p, in, classes, cfg)
+}
+
+// AnalyzeClassesContext is AnalyzeClasses under a context; failed classes
+// carry their typed error in ClassResult.Err.
+func AnalyzeClassesContext(ctx context.Context, p *Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
+	return core.AnalyzeClassesContext(ctx, p, in, classes, cfg)
 }
 
 // NewAnalyzer creates a reusable staged analyzer for p; prefer it over

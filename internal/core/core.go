@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+
 	"flowcheck/internal/engine"
 	"flowcheck/internal/vm"
 )
@@ -43,6 +45,28 @@ type (
 	ClassResult = engine.ClassResult
 	// Analyzer is the staged analysis engine with pooled sessions.
 	Analyzer = engine.Analyzer
+	// Budget bounds the resources one analysis run may consume.
+	Budget = engine.Budget
+	// BudgetError reports which resource budget a run exceeded.
+	BudgetError = engine.BudgetError
+	// CancelError reports a run aborted by its context.
+	CancelError = engine.CancelError
+	// InternalError is a recovered pipeline-stage panic.
+	InternalError = engine.InternalError
+)
+
+// The engine's failure taxonomy: every analysis failure matches exactly
+// one of these via errors.Is. See internal/engine/errors.go.
+var (
+	// ErrStepLimit marks a guest that exhausted its step budget
+	// (matched against Result.Trap; the partial run is still sound).
+	ErrStepLimit = engine.ErrStepLimit
+	// ErrBudget marks a run that exceeded a resource budget.
+	ErrBudget = engine.ErrBudget
+	// ErrCanceled marks a run aborted by its context.
+	ErrCanceled = engine.ErrCanceled
+	// ErrInternal marks a recovered pipeline-stage panic.
+	ErrInternal = engine.ErrInternal
 )
 
 // NewAnalyzer creates a reusable analyzer for prog: repeated calls reuse
@@ -54,6 +78,12 @@ func NewAnalyzer(prog *vm.Program, cfg Config) *Analyzer {
 // Analyze runs one execution of prog under the analysis.
 func Analyze(prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
 	return engine.Analyze(prog, in, cfg)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation and deadlines
+// abort the run mid-execution with ErrCanceled.
+func AnalyzeContext(ctx context.Context, prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
+	return engine.AnalyzeContext(ctx, prog, in, cfg)
 }
 
 // AnalyzeMulti analyzes several executions together: graphs are merged by
@@ -72,6 +102,14 @@ func AnalyzeBatch(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error
 	return engine.AnalyzeBatch(prog, inputs, cfg)
 }
 
+// AnalyzeBatchContext is AnalyzeBatch under a context. Failed runs
+// (canceled, over budget, panicking, trapped) are recorded in their
+// RunSummary.Err and excluded from the merge; the joint bound covers the
+// surviving runs.
+func AnalyzeBatchContext(ctx context.Context, prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return engine.AnalyzeBatchContext(ctx, prog, inputs, cfg)
+}
+
 // AnalyzeSource compiles MiniC source and analyzes one execution.
 func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error) {
 	return engine.AnalyzeSource(filename, src, in, cfg)
@@ -81,6 +119,12 @@ func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error)
 // execution reveals (§10.1), analyzing the classes in parallel.
 func AnalyzeClasses(prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
 	return engine.AnalyzeClasses(prog, in, classes, cfg)
+}
+
+// AnalyzeClassesContext is AnalyzeClasses under a context; failed classes
+// carry their typed error in ClassResult.Err.
+func AnalyzeClassesContext(ctx context.Context, prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
+	return engine.AnalyzeClassesContext(ctx, prog, in, classes, cfg)
 }
 
 // RunPlain executes prog uninstrumented (the baseline for overhead

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,18 +32,33 @@ func (a *Analyzer) workers(n int) int {
 }
 
 // fanOut runs fn(i) for i in [0, n) across the configured number of worker
-// goroutines, each holding one pooled session. Work items are claimed from
-// an atomic counter, so any worker may process any index; callers must
-// write results into index-addressed slots to stay deterministic.
-func (a *Analyzer) fanOut(n int, fn func(s *session, i int)) {
+// goroutines, each holding one pooled session, and returns the per-index
+// errors. Work items are claimed from an atomic counter, so any worker may
+// process any index; callers must write results into index-addressed slots
+// to stay deterministic.
+//
+// Sessions are released by defer in both the single- and multi-worker
+// paths, and a panic escaping fn is recovered into that index's error
+// slot, so no failure mode can leak a session or kill a worker before its
+// remaining items run.
+func (a *Analyzer) fanOut(n int, fn func(s *session, i int) error) []error {
+	errs := make([]error, n)
+	call := func(s *session, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &InternalError{Stage: "fan-out", Value: r, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = fn(s, i)
+	}
 	workers := a.workers(n)
 	if workers == 1 {
 		s := a.acquire()
+		defer a.release(s)
 		for i := 0; i < n; i++ {
-			fn(s, i)
+			call(s, i)
 		}
-		a.release(s)
-		return
+		return errs
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -55,11 +73,12 @@ func (a *Analyzer) fanOut(n int, fn func(s *session, i int)) {
 				if i >= n {
 					return
 				}
-				fn(s, i)
+				call(s, i)
 			}
 		}()
 	}
 	wg.Wait()
+	return errs
 }
 
 // AnalyzeBatch analyzes several executions of the program in parallel:
@@ -73,68 +92,134 @@ func (a *Analyzer) fanOut(n int, fn func(s *session, i int)) {
 //
 // The result is deterministic: graphs are merged in run order, so Bits and
 // the cut do not depend on worker count or scheduling. As in AnalyzeMulti,
-// Output, ExitCode, Steps, and Trap are the last run's; Warnings and
-// Snapshots are concatenated in run order; Stats sums across runs; Runs
-// holds per-run summaries (with each run's standalone bound).
+// Output, ExitCode, Steps, and Trap are the last surviving run's; Warnings
+// and Snapshots are concatenated in run order; Stats sums across runs;
+// Runs holds per-run summaries (with each run's standalone bound).
+//
+// Failures are isolated per run: a canceled, over-budget, or panicking run
+// is recorded in its RunSummary.Err and excluded from the merge, and the
+// joint bound covers the surviving runs — still deterministically, since
+// the surviving set depends only on the inputs, never on scheduling. Only
+// when every run fails (or the batch's own context is canceled) does
+// AnalyzeBatch return an error. Note the changed trap semantics versus a
+// single Analyze: there the trapped run IS the result (partial but sound),
+// while a trapped batch run would silently weaken the joint bound, so it
+// too is excluded and recorded in its summary.
 func (a *Analyzer) AnalyzeBatch(inputs []Inputs) (*Result, error) {
+	return a.AnalyzeBatchContext(context.Background(), inputs)
+}
+
+// AnalyzeBatchContext is AnalyzeBatch under a context: cancellation aborts
+// in-flight runs at their next step-interval poll and fails the batch with
+// ErrCanceled.
+func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (res *Result, err error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("engine: no inputs")
 	}
 	start := time.Now()
+	// The merge and joint solve below run outside runStages' recovery;
+	// guard them with the same stage-boundary contract so an internal
+	// panic cannot escape AnalyzeBatch.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &InternalError{Stage: "merge", Value: r, Stack: debug.Stack()}
+		}
+	}()
 
 	perRun := make([]*Result, len(inputs))
-	a.fanOut(len(inputs), func(s *session, i int) {
-		perRun[i] = a.runStages(s, a.sessionTracker(s), inputs[i])
+	perErr := a.fanOut(len(inputs), func(s *session, i int) error {
+		r, err := a.runStages(ctx, s, a.sessionTracker(s), inputs[i], a.cfg.Fault.Run(i))
+		perRun[i] = r
+		return err
 	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
-	// Merge per-run graphs in run order (§3.2). Exact-mode builders number
-	// edges with per-builder serials that collide across runs, so salt each
-	// run's labels to keep them disjoint — matching how a single exact-mode
-	// tracker numbers successive runs online.
-	graphs := make([]*flowgraph.Graph, len(inputs))
+	// Trapped runs are excluded from the merge along with failed ones: the
+	// joint bound is defined over complete surviving runs.
 	for i, r := range perRun {
+		if perErr[i] == nil && r.Trap != nil {
+			perErr[i] = r.Trap
+		}
+	}
+
+	// Merge surviving per-run graphs in run order (§3.2). Exact-mode
+	// builders number edges with per-builder serials that collide across
+	// runs, so salt each run's labels to keep them disjoint — matching how
+	// a single exact-mode tracker numbers successive runs online. The salt
+	// is the run index, not the survivor ordinal, so poisoning run k never
+	// relabels run k+1.
+	graphs := make([]*flowgraph.Graph, 0, len(inputs))
+	var failures []error
+	for i, r := range perRun {
+		if perErr[i] != nil {
+			failures = append(failures, fmt.Errorf("run %d: %w", i, perErr[i]))
+			continue
+		}
 		if a.cfg.Taint.Exact {
 			merge.SaltLabels(r.Graph, uint64(i+1))
 		}
-		graphs[i] = r.Graph
+		graphs = append(graphs, r.Graph)
+	}
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("engine: all %d runs failed: %w", len(inputs), errors.Join(failures...))
 	}
 	mStart := time.Now()
 	joint := merge.Graphs(graphs...)
 	mergeDur := time.Since(mStart)
 
 	sStart := time.Now()
-	flow := maxflow.Compute(joint, a.cfg.Algorithm)
-	cut := flow.MinCut()
+	var flow *maxflow.Result
+	var cut *maxflow.Cut
+	degradedReason := ""
+	flow, exhausted := maxflow.NewSolver(a.cfg.Algorithm).SolveBudgeted(joint, a.cfg.Budget.SolverWork)
+	if exhausted {
+		flow = nil
+		degradedReason = fmt.Sprintf("joint solver work budget (%d) exhausted", a.cfg.Budget.SolverWork)
+	} else {
+		cut = flow.MinCut()
+	}
 	jointSolve := time.Since(sStart)
 
-	var taintedOut int64
-	for _, e := range joint.Edges {
-		if e.To == flowgraph.Sink && e.Label.Kind == flowgraph.KindOutput {
-			taintedOut += e.Cap
-		}
+	taintedOut := taintedOutputBits(joint)
+	bits := trivialCutBits(joint)
+	if flow != nil {
+		bits = flow.Flow
 	}
 
-	last := perRun[len(perRun)-1]
-	res := &Result{
-		Bits:              flow.Flow,
+	res = &Result{
+		Bits:              bits,
 		TaintedOutputBits: taintedOut,
 		Graph:             joint,
 		Flow:              flow,
 		Cut:               cut,
-		Output:            last.Output,
-		ExitCode:          last.ExitCode,
-		Steps:             last.Steps,
-		Trap:              last.Trap,
+		Degraded:          degradedReason != "",
+		DegradedReason:    degradedReason,
 		Runs:              make([]RunSummary, 0, len(perRun)),
 		prog:              a.prog,
 	}
 	var agg StageStats
 	for i, r := range perRun {
+		if perErr[i] != nil {
+			sum := RunSummary{Run: i, Err: perErr[i]}
+			if r != nil { // trapped: the partial execution's facts are known
+				sum = summarize(i, r)
+				sum.Err = perErr[i]
+			}
+			res.Runs = append(res.Runs, sum)
+			continue
+		}
 		res.Runs = append(res.Runs, summarize(i, r))
 		res.Warnings = append(res.Warnings, r.Warnings...)
 		res.Snapshots = append(res.Snapshots, r.Snapshots...)
 		addStats(&res.Stats, r.Stats)
 		agg.add(r.Stages)
+		// Execution facts mirror AnalyzeMulti: the last surviving run's.
+		res.Output = r.Output
+		res.ExitCode = r.ExitCode
+		res.Steps = r.Steps
+		res.Trap = r.Trap
 	}
 	agg.Merge = mergeDur
 	agg.Solve += jointSolve
@@ -152,14 +237,29 @@ func (a *Analyzer) AnalyzeBatch(inputs []Inputs) (*Result, error) {
 // bounds may sum to more than a joint analysis reports, since the classes
 // share output capacity (the crowding-out effect the paper discusses).
 func (a *Analyzer) AnalyzeClasses(in Inputs, classes []SecretClass) ([]ClassResult, error) {
+	return a.AnalyzeClassesContext(context.Background(), in, classes)
+}
+
+// AnalyzeClassesContext is AnalyzeClasses under a context. Class failures
+// are isolated like batch runs: a failed class carries its typed error in
+// ClassResult.Err while the other classes still report their bounds.
+func (a *Analyzer) AnalyzeClassesContext(ctx context.Context, in Inputs, classes []SecretClass) ([]ClassResult, error) {
 	out := make([]ClassResult, len(classes))
-	a.fanOut(len(classes), func(s *session, i int) {
+	a.fanOut(len(classes), func(s *session, i int) error {
 		c := classes[i]
 		opts := a.cfg.Taint
 		opts.SecretRanges = []taint.StreamRange{{Off: c.Off, Len: c.Len}}
-		res := a.runStages(s, taint.New(opts), in)
+		res, err := a.runStages(ctx, s, taint.New(opts), in, a.cfg.Fault.Run(i))
+		if err != nil {
+			out[i] = ClassResult{Class: c, Err: err}
+			return err
+		}
 		out[i] = ClassResult{Class: c, Bits: res.Bits, Cut: res.CutString()}
+		return nil
 	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -22,10 +22,15 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"flowcheck/internal/fault"
 	"flowcheck/internal/flowgraph"
 	"flowcheck/internal/lang"
 	"flowcheck/internal/maxflow"
@@ -42,11 +47,20 @@ type Config struct {
 	Algorithm maxflow.Algorithm
 	// MemSize is the guest memory size (default vm.DefaultMemSize).
 	MemSize int
-	// MaxSteps bounds guest execution (default vm.DefaultMaxSteps).
+	// MaxSteps bounds guest execution (default vm.DefaultMaxSteps). An
+	// exhausted step budget is a typed trap (errors.Is(res.Trap,
+	// ErrStepLimit)); the partial run is still soundly analyzable.
 	MaxSteps uint64
 	// Workers bounds the fan-out of AnalyzeBatch and AnalyzeClasses;
 	// 0 means GOMAXPROCS. Single-run analysis ignores it.
 	Workers int
+	// Budget bounds per-run resources (graph size, output bytes, solver
+	// work); the zero value is unlimited. See Budget for which limits fail
+	// a run and which degrade it.
+	Budget Budget
+	// Fault injects deterministic failures for testing the degradation
+	// paths (internal/fault); nil injects nothing.
+	Fault *fault.Plan
 }
 
 // Inputs is one execution's input pair: the secret input whose disclosure
@@ -98,6 +112,11 @@ type Analyzer struct {
 	prog *vm.Program
 	cfg  Config
 	pool sync.Pool
+
+	// live counts sessions currently checked out of the pool — the
+	// observable that the robustness tests use to prove no failure path
+	// leaks a session.
+	live atomic.Int64
 }
 
 // New creates an Analyzer for prog under cfg.
@@ -122,45 +141,161 @@ func (a *Analyzer) Program() *vm.Program { return a.prog }
 // Config returns the analyzer's configuration.
 func (a *Analyzer) Config() Config { return a.cfg }
 
-func (a *Analyzer) acquire() *session  { return a.pool.Get().(*session) }
-func (a *Analyzer) release(s *session) { a.pool.Put(s) }
+func (a *Analyzer) acquire() *session {
+	a.live.Add(1)
+	return a.pool.Get().(*session)
+}
+
+func (a *Analyzer) release(s *session) {
+	a.live.Add(-1)
+	a.pool.Put(s)
+}
+
+// injectPanic fires a scripted stage panic; the stage-boundary recovery in
+// runStages turns it into an InternalError, exactly as a genuine bug
+// panicking at that point would be.
+func injectPanic(inj fault.Injection, stage string) {
+	if inj.PanicStage == stage {
+		panic(fmt.Sprintf("fault: injected panic in %s stage", stage))
+	}
+}
+
+// taintedOutputBits is the tainting bound reported alongside the flow
+// (paper §7): the capacity of data actually written out, excluding the
+// unbounded chain links that model output ordering. It is NOT sound as a
+// fallback bound — plain tainting misses implicit flows.
+func taintedOutputBits(g *flowgraph.Graph) int64 {
+	var total int64
+	for _, e := range g.Edges {
+		if e.To == flowgraph.Sink && e.Label.Kind == flowgraph.KindOutput {
+			total += e.Cap
+		}
+	}
+	return total
+}
+
+// trivialCutBits is the sound fallback bound when the solver budget is
+// exhausted: the smaller of the two trivial cuts — all capacity leaving
+// Source (the whole secret) or all capacity entering Sink (everything
+// observable, implicit chain links included). Any s-t cut's capacity
+// bounds the max flow, so this is sound for every graph; it is just
+// looser than a real solve. (A partial flow would be a lower bound —
+// useless as a leakage bound.)
+func trivialCutBits(g *flowgraph.Graph) int64 {
+	var fromSource, intoSink int64
+	for _, e := range g.Edges {
+		if e.From == flowgraph.Source {
+			fromSource += e.Cap
+		}
+		if e.To == flowgraph.Sink {
+			intoSink += e.Cap
+		}
+	}
+	if intoSink < fromSource {
+		return intoSink
+	}
+	return fromSource
+}
 
 // runStages executes the four pipeline stages for one input on a session,
 // with the given tracker (which the caller has reset appropriately: fresh
 // for independent runs, carried over for online §3.2 accumulation).
-func (a *Analyzer) runStages(s *session, tr *taint.Tracker, in Inputs) *Result {
+//
+// Failure semantics: guest traps — including typed step-limit traps — do
+// not fail the run; the partial execution is still soundly analyzable, so
+// they return a Result with Trap set. Cancellation, exceeded budgets, and
+// stage panics produce no sound result and return a typed error
+// (ErrCanceled, ErrBudget, ErrInternal). A panic anywhere in the stages is
+// recovered here, at the stage boundary, so it cannot kill the process or
+// leak the pooled session.
+func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker, in Inputs, inj fault.Injection) (res *Result, err error) {
+	stage := fault.StageExecute
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &InternalError{Stage: stage, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	var st StageStats
 
 	t0 := time.Now()
+	injectPanic(inj, fault.StageExecute)
 	s.prepare(a.cfg, in)
 	tr.Attach(s.m)
-	trapErr := s.m.Run()
+	if check := a.checkHook(ctx, tr, inj); check != nil {
+		s.m.Check = check
+		s.m.CheckEvery = a.cfg.Budget.CheckEvery
+		if inj.TrapAtStep != 0 {
+			s.m.CheckEvery = 1 // exact injected step counts
+		}
+	}
+	runErr := s.m.Run()
 	t1 := time.Now()
 	st.Execute = t1.Sub(t0)
 
+	var trapErr error
+	if runErr != nil {
+		var trap *vm.Trap
+		if errors.As(runErr, &trap) {
+			trapErr = runErr // partial run, still sound to analyze
+		} else {
+			return nil, runErr // canceled or over budget: no result
+		}
+	}
+	// Re-check the output cap after the run: a guest that finishes within
+	// one poll interval is never seen by the mid-run hook.
+	if err := a.cfg.Budget.checkOutput(len(s.m.Output)); err != nil {
+		return nil, err
+	}
+
+	stage = fault.StageBuild
+	injectPanic(inj, fault.StageBuild)
 	g := tr.Graph()
 	t2 := time.Now()
 	st.Build = t2.Sub(t1)
+	if err := a.cfg.Budget.checkGraph(g); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
-	flow := s.solver.Solve(g)
-	cut := flow.MinCut()
+	stage = fault.StageSolve
+	injectPanic(inj, fault.StageSolve)
+	var flow *maxflow.Result
+	var cut *maxflow.Cut
+	degradedReason := ""
+	if inj.ExhaustSolver {
+		degradedReason = "injected solver-work exhaustion"
+	} else {
+		var exhausted bool
+		flow, exhausted = s.solver.SolveBudgeted(g, a.cfg.Budget.SolverWork)
+		if exhausted {
+			// Degrade to the trivial-cut bound instead of failing; see
+			// trivialCutBits for why the partial flow itself is unusable.
+			flow = nil
+			degradedReason = fmt.Sprintf("solver work budget (%d) exhausted", a.cfg.Budget.SolverWork)
+		} else {
+			cut = flow.MinCut()
+		}
+	}
 	t3 := time.Now()
 	st.Solve = t3.Sub(t2)
 
-	// Report: the tainting bound counts only data actually written out, not
-	// the unbounded chain links that model output ordering.
-	var taintedOut int64
-	for _, e := range g.Edges {
-		if e.To == flowgraph.Sink && e.Label.Kind == flowgraph.KindOutput {
-			taintedOut += e.Cap
-		}
+	stage = fault.StageReport
+	injectPanic(inj, fault.StageReport)
+	taintedOut := taintedOutputBits(g)
+	bits := trivialCutBits(g)
+	if flow != nil {
+		bits = flow.Flow
 	}
-	res := &Result{
-		Bits:              flow.Flow,
+	res = &Result{
+		Bits:              bits,
 		TaintedOutputBits: taintedOut,
 		Graph:             g,
 		Flow:              flow,
 		Cut:               cut,
+		Degraded:          degradedReason != "",
+		DegradedReason:    degradedReason,
 		Output:            s.m.Output,
 		ExitCode:          s.m.ExitCode,
 		Steps:             s.m.Steps,
@@ -173,15 +308,23 @@ func (a *Analyzer) runStages(s *session, tr *taint.Tracker, in Inputs) *Result {
 	st.Report = time.Since(t3)
 	st.Total = time.Since(t0)
 	res.Stages = st
-	return res
+	return res, nil
 }
 
 // Analyze runs one execution through the staged pipeline on a pooled
 // session.
 func (a *Analyzer) Analyze(in Inputs) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), in)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation and deadlines
+// are polled between pipeline stages and, during execution, every
+// Budget.CheckEvery guest steps, so a stuck guest or an impatient caller
+// aborts mid-flight with ErrCanceled.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, in Inputs) (*Result, error) {
 	s := a.acquire()
 	defer a.release(s)
-	return a.runStages(s, a.sessionTracker(s), in), nil
+	return a.runStages(ctx, s, a.sessionTracker(s), in, a.cfg.Fault.Run(0))
 }
 
 func (a *Analyzer) sessionTracker(s *session) *taint.Tracker {
@@ -193,7 +336,18 @@ func (a *Analyzer) sessionTracker(s *session) *taint.Tracker {
 // code location online and the final bound has the cross-run consistency of
 // §3.2. The returned result reflects the combined graph, with per-run
 // summaries in Runs; Output, ExitCode, Steps, and Trap are the last run's.
+//
+// Because the runs accumulate into one tracker, a failed run (canceled,
+// over budget, stage panic) poisons the shared state and aborts the whole
+// call with that run's typed error; AnalyzeBatch isolates failures per run
+// instead.
 func (a *Analyzer) AnalyzeMulti(inputs []Inputs) (*Result, error) {
+	return a.AnalyzeMultiContext(context.Background(), inputs)
+}
+
+// AnalyzeMultiContext is AnalyzeMulti under a context; see AnalyzeContext
+// for the cancellation semantics.
+func (a *Analyzer) AnalyzeMultiContext(ctx context.Context, inputs []Inputs) (*Result, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("engine: no inputs")
 	}
@@ -207,7 +361,11 @@ func (a *Analyzer) AnalyzeMulti(inputs []Inputs) (*Result, error) {
 		if i > 0 {
 			tr.Reset()
 		}
-		res = a.runStages(s, tr, in)
+		r, err := a.runStages(ctx, s, tr, in, a.cfg.Fault.Run(i))
+		if err != nil {
+			return nil, fmt.Errorf("engine: run %d: %w", i, err)
+		}
+		res = r
 		agg.add(res.Stages)
 		runs = append(runs, summarize(i, res))
 	}
@@ -230,6 +388,12 @@ func Analyze(prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
 	return New(prog, cfg).Analyze(in)
 }
 
+// AnalyzeContext runs one execution under a context; see
+// (*Analyzer).AnalyzeContext.
+func AnalyzeContext(ctx context.Context, prog *vm.Program, in Inputs, cfg Config) (*Result, error) {
+	return New(prog, cfg).AnalyzeContext(ctx, in)
+}
+
 // AnalyzeMulti analyzes several executions together; see
 // (*Analyzer).AnalyzeMulti.
 func AnalyzeMulti(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
@@ -242,10 +406,22 @@ func AnalyzeBatch(prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error
 	return New(prog, cfg).AnalyzeBatch(inputs)
 }
 
+// AnalyzeBatchContext analyzes several executions in parallel under a
+// context; see (*Analyzer).AnalyzeBatchContext.
+func AnalyzeBatchContext(ctx context.Context, prog *vm.Program, inputs []Inputs, cfg Config) (*Result, error) {
+	return New(prog, cfg).AnalyzeBatchContext(ctx, inputs)
+}
+
 // AnalyzeClasses measures per-class disclosure in parallel; see
 // (*Analyzer).AnalyzeClasses.
 func AnalyzeClasses(prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
 	return New(prog, cfg).AnalyzeClasses(in, classes)
+}
+
+// AnalyzeClassesContext measures per-class disclosure in parallel under a
+// context; see (*Analyzer).AnalyzeClassesContext.
+func AnalyzeClassesContext(ctx context.Context, prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
+	return New(prog, cfg).AnalyzeClassesContext(ctx, in, classes)
 }
 
 // RunPlain executes prog uninstrumented (the baseline for overhead

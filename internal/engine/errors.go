@@ -1,0 +1,81 @@
+// errors.go is the engine's failure taxonomy. Every way an analysis can
+// fail maps to one of four errors.Is-able sentinels:
+//
+//	ErrStepLimit  the guest exhausted its step budget (vm.ErrStepLimit);
+//	              the partial run is still soundly analyzable
+//	ErrBudget     a resource budget (graph size, output bytes) was exceeded
+//	ErrCanceled   the caller's context was canceled or its deadline passed
+//	ErrInternal   a pipeline stage panicked; recovered at the stage boundary
+//
+// Guest traps (vm.Trap with TrapFault) are not errors of the analysis:
+// the flow bound over the partial execution remains sound, so they are
+// reported on Result.Trap, not returned. Solver-budget exhaustion is also
+// not an error: it degrades the result to the trivial-cut bound
+// (Result.Degraded). The sentinels cover the cases where no sound result
+// can be produced at all.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"flowcheck/internal/vm"
+)
+
+// ErrStepLimit aliases vm.ErrStepLimit: errors.Is(res.Trap, ErrStepLimit)
+// distinguishes step-budget exhaustion from a genuine guest fault.
+var ErrStepLimit = vm.ErrStepLimit
+
+// Sentinels for the remaining failure classes. Concrete errors carry
+// detail (BudgetError, CancelError, InternalError) and match these via
+// errors.Is.
+var (
+	ErrBudget   = errors.New("engine: resource budget exhausted")
+	ErrCanceled = errors.New("engine: analysis canceled")
+	ErrInternal = errors.New("engine: internal failure")
+)
+
+// BudgetError reports which resource budget a run exceeded.
+type BudgetError struct {
+	Resource string // "graph-nodes", "graph-edges", "output-bytes", ...
+	Limit    int64
+	Used     int64
+}
+
+func (e *BudgetError) Error() string {
+	if e.Limit == 0 { // injected exhaustion carries no real numbers
+		return fmt.Sprintf("engine: %s budget exhausted", e.Resource)
+	}
+	return fmt.Sprintf("engine: %s budget exhausted (%d > limit %d)", e.Resource, e.Used, e.Limit)
+}
+
+func (e *BudgetError) Is(target error) bool { return target == ErrBudget }
+
+// CancelError reports a run aborted by its context; Unwrap exposes the
+// context's own error, so errors.Is(err, context.DeadlineExceeded) also
+// works.
+type CancelError struct {
+	Cause error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("engine: analysis canceled: %v", e.Cause)
+}
+
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+func (e *CancelError) Unwrap() error        { return e.Cause }
+
+// InternalError is a pipeline-stage panic recovered at the stage boundary:
+// an engine bug (or an injected fault standing in for one) surfaced as an
+// error instead of killing the process or leaking a pooled session.
+type InternalError struct {
+	Stage string // execute, build, solve, report, merge
+	Value any    // the recovered panic value
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("engine: internal failure in %s stage: %v", e.Stage, e.Value)
+}
+
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }

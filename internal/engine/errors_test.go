@@ -1,0 +1,81 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flowcheck/internal/engine"
+	"flowcheck/internal/vm"
+)
+
+// TestErrorTaxonomy pins the errors.Is pairings: each concrete error
+// matches exactly its own sentinel, so callers can switch on the four
+// failure classes without type assertions.
+func TestErrorTaxonomy(t *testing.T) {
+	sentinels := []error{engine.ErrStepLimit, engine.ErrBudget, engine.ErrCanceled, engine.ErrInternal}
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"step-limit trap", &vm.Trap{Kind: vm.TrapStepLimit, Msg: "step limit"}, engine.ErrStepLimit},
+		{"budget", &engine.BudgetError{Resource: "graph-edges", Limit: 10, Used: 20}, engine.ErrBudget},
+		{"injected budget", &engine.BudgetError{Resource: "output-bytes"}, engine.ErrBudget},
+		{"cancel", &engine.CancelError{Cause: context.Canceled}, engine.ErrCanceled},
+		{"internal", &engine.InternalError{Stage: "solve", Value: "boom"}, engine.ErrInternal},
+	}
+	for _, tc := range cases {
+		for _, s := range sentinels {
+			got := errors.Is(tc.err, s)
+			if want := s == tc.want; got != want {
+				t.Errorf("%s: errors.Is(err, %v) = %v, want %v", tc.name, s, got, want)
+			}
+		}
+	}
+}
+
+// A genuine guest fault must not read as step-limit exhaustion.
+func TestGuestFaultIsNotStepLimit(t *testing.T) {
+	trap := &vm.Trap{Kind: vm.TrapFault, Msg: "load out of range"}
+	if errors.Is(trap, engine.ErrStepLimit) {
+		t.Fatal("guest fault matched ErrStepLimit")
+	}
+}
+
+// CancelError unwraps to the context's own error, so callers can also
+// match context.Canceled / context.DeadlineExceeded directly.
+func TestCancelErrorUnwrapsContextError(t *testing.T) {
+	err := error(&engine.CancelError{Cause: context.DeadlineExceeded})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("CancelError did not unwrap to context.DeadlineExceeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("deadline CancelError matched context.Canceled")
+	}
+}
+
+// The sentinels themselves must stay distinct.
+func TestSentinelsDistinct(t *testing.T) {
+	s := []error{engine.ErrStepLimit, engine.ErrBudget, engine.ErrCanceled, engine.ErrInternal}
+	for i := range s {
+		for j := range s {
+			if (i == j) != errors.Is(s[i], s[j]) {
+				t.Errorf("sentinel %v vs %v: wrong identity", s[i], s[j])
+			}
+		}
+	}
+}
+
+// BudgetError renders with and without real numbers (the latter is the
+// injected-exhaustion form).
+func TestBudgetErrorString(t *testing.T) {
+	withNums := (&engine.BudgetError{Resource: "graph-nodes", Limit: 5, Used: 9}).Error()
+	if withNums != "engine: graph-nodes budget exhausted (9 > limit 5)" {
+		t.Fatalf("unexpected message %q", withNums)
+	}
+	injected := (&engine.BudgetError{Resource: "output-bytes"}).Error()
+	if injected != "engine: output-bytes budget exhausted" {
+		t.Fatalf("unexpected message %q", injected)
+	}
+}

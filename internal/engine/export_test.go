@@ -1,0 +1,6 @@
+package engine
+
+// LiveSessions exposes the number of sessions currently checked out of the
+// analyzer's pool, so the robustness tests can prove that no failure path
+// leaks one.
+func LiveSessions(a *Analyzer) int64 { return a.live.Load() }

@@ -35,6 +35,13 @@ type Result struct {
 	Steps    uint64
 	Trap     error // non-nil if the guest trapped (result still sound for the partial run)
 
+	// Degraded reports that the solver work budget ran out and Bits fell
+	// back to the trivial-cut upper bound — the smaller of all capacity
+	// leaving Source and all capacity entering Sink; still sound, just
+	// looser — with no cut available. DegradedReason says why.
+	Degraded       bool
+	DegradedReason string
+
 	Warnings  []taint.Warning
 	Snapshots []taint.Snapshot
 	Stats     taint.Stats
@@ -68,6 +75,13 @@ type RunSummary struct {
 	ExitCode vm.Word
 	// Trapped reports whether the run ended in a trap.
 	Trapped bool
+	// Degraded reports whether the run's standalone solve fell back to
+	// the trivial-cut bound.
+	Degraded bool
+	// Err is the typed failure that excluded this run from a batch merge
+	// (ErrCanceled, ErrBudget, ErrInternal, or the trap itself); nil for
+	// runs that contribute to the joint bound.
+	Err error
 }
 
 func summarize(run int, r *Result) RunSummary {
@@ -78,6 +92,7 @@ func summarize(run int, r *Result) RunSummary {
 		Steps:       r.Steps,
 		ExitCode:    r.ExitCode,
 		Trapped:     r.Trap != nil,
+		Degraded:    r.Degraded,
 	}
 }
 
@@ -118,11 +133,14 @@ type SecretClass struct {
 	Len  int
 }
 
-// ClassResult is the per-class disclosure measurement.
+// ClassResult is the per-class disclosure measurement. Err carries the
+// typed failure of a class whose analysis did not complete; its Bits and
+// Cut are then meaningless.
 type ClassResult struct {
 	Class SecretClass
 	Bits  int64
 	Cut   string
+	Err   error
 }
 
 // CutEdge is a human-readable description of one minimum-cut edge: a

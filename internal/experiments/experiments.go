@@ -681,3 +681,44 @@ func Batch(runs int) BatchResult {
 	r.Agree = bn.Bits == multi.Bits && b1.Bits == multi.Bits
 	return r
 }
+
+// --------------------------------------------- Engine graceful degradation ---
+
+// DegradePoint is one solver-budget setting: the bound it yields and what
+// the solve cost. Degraded points report the trivial-cut fallback.
+type DegradePoint struct {
+	Budget   int64
+	Bits     int64
+	Degraded bool
+	Solve    time.Duration
+}
+
+// DegradeResult sweeps the solver work budget on one compress run, showing
+// the robustness tradeoff: every budget returns a sound bound, tightening
+// toward the exact max flow as the budget grows.
+type DegradeResult struct {
+	Guest     string
+	ExactBits int64
+	Points    []DegradePoint
+}
+
+// Degrade measures the budgeted-solve fallback on a compress execution.
+func Degrade(n int) DegradeResult {
+	prog := guest.Program("compress")
+	in := core.Inputs{Secret: workload.PiWords(n)}
+	exact := mustAnalyze("compress", in, core.Config{})
+	r := DegradeResult{Guest: "compress", ExactBits: exact.Bits}
+	for _, budget := range []int64{100, 1_000, 10_000, 100_000, 1_000_000} {
+		res, err := core.Analyze(prog, in, core.Config{Budget: core.Budget{SolverWork: budget}})
+		if err != nil {
+			panic(err)
+		}
+		if res.Bits < exact.Bits {
+			panic("degraded bound below exact max flow")
+		}
+		r.Points = append(r.Points, DegradePoint{
+			Budget: budget, Bits: res.Bits, Degraded: res.Degraded, Solve: res.Stages.Solve,
+		})
+	}
+	return r
+}

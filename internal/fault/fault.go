@@ -1,0 +1,141 @@
+// Package fault is a deterministic fault-injection harness for the
+// analysis engine.
+//
+// A Plan scripts, per run index, which failure a run should suffer: a
+// guest trap at a chosen step count, a forced budget exhaustion, a forced
+// solver-budget degradation, or a panic at the entry of a pipeline stage.
+// The plan is pure data — the engine interprets it at its own failure
+// points (the VM check hook, the budget checks, the stage boundaries), so
+// injected failures exercise exactly the code paths that real traps,
+// exhausted budgets, cancellations, and internal bugs take.
+//
+// Plans are deterministic by construction: the same plan applied to the
+// same inputs fails the same runs in the same way, regardless of worker
+// count or scheduling — which is what lets the batch-isolation tests
+// assert bit-identical joint bounds under chaos. Random derives a plan
+// from a seed for chaos-style sweeps.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stage names the pipeline stage a fault targets; they match the engine's
+// stage boundaries.
+const (
+	StageExecute = "execute"
+	StageBuild   = "build"
+	StageSolve   = "solve"
+	StageReport  = "report"
+)
+
+// Injection describes the failure one run should suffer. The zero value
+// injects nothing.
+type Injection struct {
+	// TrapAtStep, when non-zero, makes the guest trap at (or within one
+	// check interval after) this step count, as if it had faulted.
+	TrapAtStep uint64
+
+	// ExhaustResource, when non-empty, reports this resource's budget as
+	// exhausted at the first poll (e.g. "output-bytes", "graph-nodes").
+	ExhaustResource string
+
+	// ExhaustSolver forces the solver-work budget to read as exhausted,
+	// driving the graceful-degradation fallback.
+	ExhaustSolver bool
+
+	// PanicStage, when set to one of the Stage constants, panics at the
+	// entry of that stage, exercising the engine's recovery boundary.
+	PanicStage string
+}
+
+// Active reports whether the injection does anything.
+func (inj Injection) Active() bool {
+	return inj.TrapAtStep != 0 || inj.ExhaustResource != "" || inj.ExhaustSolver || inj.PanicStage != ""
+}
+
+func (inj Injection) String() string {
+	switch {
+	case inj.TrapAtStep != 0:
+		return fmt.Sprintf("trap@step=%d", inj.TrapAtStep)
+	case inj.ExhaustResource != "":
+		return "exhaust:" + inj.ExhaustResource
+	case inj.ExhaustSolver:
+		return "exhaust:solver-work"
+	case inj.PanicStage != "":
+		return "panic:" + inj.PanicStage
+	}
+	return "none"
+}
+
+// Plan maps run indices to injections. The zero value (and nil) injects
+// nothing anywhere. Plans are immutable once handed to an analyzer, so one
+// plan may serve concurrent runs.
+type Plan struct {
+	byRun map[int]Injection
+	every Injection
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{byRun: map[int]Injection{}} }
+
+// ForRun schedules inj for the run with the given index (single-run
+// analyses are run 0). It returns the plan for chaining.
+func (p *Plan) ForRun(run int, inj Injection) *Plan {
+	p.byRun[run] = inj
+	return p
+}
+
+// Every schedules inj for all runs that have no run-specific injection.
+func (p *Plan) Every(inj Injection) *Plan {
+	p.every = inj
+	return p
+}
+
+// Run returns the injection for the given run index. Safe on a nil plan.
+func (p *Plan) Run(run int) Injection {
+	if p == nil {
+		return Injection{}
+	}
+	if inj, ok := p.byRun[run]; ok {
+		return inj
+	}
+	return p.every
+}
+
+// Runs returns the indices with run-specific injections (order unspecified).
+func (p *Plan) Runs() []int {
+	if p == nil {
+		return nil
+	}
+	out := make([]int, 0, len(p.byRun))
+	for i := range p.byRun {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Random derives a plan for n runs from a seed: each run independently
+// draws one of the failure modes (or, most often, none). The same seed
+// always yields the same plan, so chaos sweeps are reproducible.
+func Random(seed int64, n int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPlan()
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			p.ForRun(i, Injection{TrapAtStep: uint64(1 + rng.Intn(5000))})
+		case 1:
+			p.ForRun(i, Injection{ExhaustResource: "output-bytes"})
+		case 2:
+			p.ForRun(i, Injection{ExhaustSolver: true})
+		case 3:
+			stages := []string{StageExecute, StageBuild, StageSolve, StageReport}
+			p.ForRun(i, Injection{PanicStage: stages[rng.Intn(len(stages))]})
+		default:
+			// healthy run
+		}
+	}
+	return p
+}

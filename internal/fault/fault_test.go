@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilAndZeroPlansInjectNothing(t *testing.T) {
+	var p *Plan
+	if inj := p.Run(0); inj.Active() {
+		t.Fatalf("nil plan injects %v", inj)
+	}
+	if inj := NewPlan().Run(3); inj.Active() {
+		t.Fatalf("empty plan injects %v", inj)
+	}
+}
+
+func TestForRunAndEvery(t *testing.T) {
+	p := NewPlan().
+		ForRun(2, Injection{TrapAtStep: 100}).
+		Every(Injection{ExhaustSolver: true})
+	if inj := p.Run(2); inj.TrapAtStep != 100 || inj.ExhaustSolver {
+		t.Fatalf("run 2 = %v, want the run-specific trap", inj)
+	}
+	if inj := p.Run(5); !inj.ExhaustSolver {
+		t.Fatalf("run 5 = %v, want the Every injection", inj)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a, b := Random(42, 64), Random(42, 64)
+	for i := 0; i < 64; i++ {
+		if !reflect.DeepEqual(a.Run(i), b.Run(i)) {
+			t.Fatalf("run %d differs across identical seeds: %v vs %v", i, a.Run(i), b.Run(i))
+		}
+	}
+	c := Random(43, 64)
+	same := true
+	for i := 0; i < 64; i++ {
+		if !reflect.DeepEqual(a.Run(i), c.Run(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical plans")
+	}
+}
+
+func TestRandomCoversEveryFailureMode(t *testing.T) {
+	kinds := map[string]bool{}
+	for i, p := 0, Random(1, 512); i < 512; i++ {
+		inj := p.Run(i)
+		switch {
+		case inj.TrapAtStep != 0:
+			kinds["trap"] = true
+		case inj.ExhaustResource != "":
+			kinds["budget"] = true
+		case inj.ExhaustSolver:
+			kinds["solver"] = true
+		case inj.PanicStage != "":
+			kinds["panic"] = true
+		}
+	}
+	for _, k := range []string{"trap", "budget", "solver", "panic"} {
+		if !kinds[k] {
+			t.Fatalf("512 random injections never produced kind %q", k)
+		}
+	}
+}
+
+func TestInjectionString(t *testing.T) {
+	cases := map[string]Injection{
+		"none":                {},
+		"trap@step=9":         {TrapAtStep: 9},
+		"exhaust:graph-nodes": {ExhaustResource: "graph-nodes"},
+		"exhaust:solver-work": {ExhaustSolver: true},
+		"panic:solve":         {PanicStage: StageSolve},
+	}
+	for want, inj := range cases {
+		if got := inj.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowcheck/internal/flowgraph"
+)
+
+// budgetGraph builds a layered random graph big enough that a tiny work
+// budget cannot finish it.
+func budgetGraph(seed int64) *flowgraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := flowgraph.New()
+	const layers, width = 6, 20
+	prev := []flowgraph.NodeID{flowgraph.Source}
+	for l := 0; l < layers; l++ {
+		var cur []flowgraph.NodeID
+		for i := 0; i < width; i++ {
+			cur = append(cur, g.AddNode())
+		}
+		for _, p := range prev {
+			for _, c := range cur {
+				if rng.Intn(3) != 0 {
+					g.AddEdge(p, c, int64(1+rng.Intn(16)), flowgraph.Label{})
+				}
+			}
+		}
+		prev = cur
+	}
+	for _, p := range prev {
+		g.AddEdge(p, flowgraph.Sink, int64(1+rng.Intn(16)), flowgraph.Label{})
+	}
+	return g
+}
+
+func TestSolveBudgetedExhaustsAndUnderestimates(t *testing.T) {
+	for _, algo := range []Algorithm{Dinic, EdmondsKarp, PushRelabel} {
+		g := budgetGraph(1)
+		exact := Compute(g, algo).Flow
+
+		partial, exhausted := NewSolver(algo).SolveBudgeted(g, 10)
+		if !exhausted {
+			t.Fatalf("%v: budget 10 on %d-edge graph not exhausted", algo, g.NumEdges())
+		}
+		if partial.Flow > exact {
+			t.Fatalf("%v: partial flow %d exceeds exact max flow %d", algo, partial.Flow, exact)
+		}
+
+		full, exhausted := NewSolver(algo).SolveBudgeted(g, 1<<40)
+		if exhausted {
+			t.Fatalf("%v: huge budget reported exhausted", algo)
+		}
+		if full.Flow != exact {
+			t.Fatalf("%v: budgeted flow %d != exact %d", algo, full.Flow, exact)
+		}
+	}
+}
+
+func TestSolveBudgetedDeterministic(t *testing.T) {
+	for _, algo := range []Algorithm{Dinic, EdmondsKarp, PushRelabel} {
+		g := budgetGraph(7)
+		a, ea := NewSolver(algo).SolveBudgeted(g, 500)
+		b, eb := NewSolver(algo).SolveBudgeted(g, 500)
+		if a.Flow != b.Flow || ea != eb {
+			t.Fatalf("%v: budgeted solve not deterministic: %d/%v vs %d/%v",
+				algo, a.Flow, ea, b.Flow, eb)
+		}
+	}
+}
+
+func TestBudgetStateResetsBetweenSolves(t *testing.T) {
+	g := budgetGraph(3)
+	s := NewSolver(Dinic)
+	if _, exhausted := s.SolveBudgeted(g, 5); !exhausted {
+		t.Fatal("tiny budget not exhausted")
+	}
+	// The same solver with no budget must now solve exactly.
+	res := s.Solve(g)
+	if want := Compute(g, Dinic).Flow; res.Flow != want {
+		t.Fatalf("solver after exhaustion: flow %d, want %d", res.Flow, want)
+	}
+}

@@ -110,6 +110,13 @@ type Solver struct {
 	algo Algorithm
 	net  network
 
+	// Work accounting for SolveBudgeted: spent counts arc examinations,
+	// limit is the budget (0 = unlimited), exhausted records an aborted
+	// solve.
+	spent     int64
+	limit     int64
+	exhausted bool
+
 	// Augmenting-path scratch (Dinic, Edmonds–Karp).
 	level   []int32
 	iter    []int32
@@ -134,7 +141,20 @@ func (s *Solver) Algorithm() Algorithm { return s.algo }
 // solver's buffers. The returned Result (including its cut) is detached
 // from the solver and stays valid across subsequent Solve calls.
 func (s *Solver) Solve(g *flowgraph.Graph) *Result {
+	res, _ := s.SolveBudgeted(g, 0)
+	return res
+}
+
+// SolveBudgeted is Solve under a work budget, measured in arc examinations
+// (work <= 0 means unlimited). When the budget runs out the algorithm stops
+// augmenting and the second return value is true; the returned Result then
+// holds a partial flow — a LOWER bound on the maximum flow, so it must not
+// be used as a leakage upper bound, and its cut is not a minimum cut.
+// Callers needing a sound bound under exhaustion should fall back to the
+// graph's total sink capacity (the tainting bound, paper §7).
+func (s *Solver) SolveBudgeted(g *flowgraph.Graph, work int64) (*Result, bool) {
 	s.net.build(g)
+	s.limit, s.spent, s.exhausted = work, 0, false
 	var flow int64
 	if s.net.n > int(flowgraph.Sink) {
 		switch s.algo {
@@ -151,7 +171,15 @@ func (s *Solver) Solve(g *flowgraph.Graph) *Result {
 		res.EdgeFlow[i] = e.Cap - s.net.resid[2*i]
 	}
 	res.cut = s.minCut(g)
-	return res
+	return res, s.exhausted
+}
+
+// over reports whether the work budget is exhausted, latching the flag.
+func (s *Solver) over() bool {
+	if s.limit > 0 && s.spent >= s.limit {
+		s.exhausted = true
+	}
+	return s.exhausted
 }
 
 // Compute runs the selected algorithm once and returns the maximum flow
@@ -179,7 +207,9 @@ func (s *Solver) dinic() int64 {
 		q := append(s.queue[:0], src)
 		for head := 0; head < len(q); head++ {
 			v := q[head]
-			for _, a := range net.arcs(v) {
+			arcs := net.arcs(v)
+			s.spent += int64(len(arcs))
+			for _, a := range arcs {
 				w := net.to[a]
 				if net.resid[a] > 0 && level[w] < 0 {
 					level[w] = level[v] + 1
@@ -197,6 +227,7 @@ func (s *Solver) dinic() int64 {
 			return limit
 		}
 		for width := net.hstart[v+1] - net.hstart[v]; iter[v] < width; iter[v]++ {
+			s.spent++
 			a := net.harcs[net.hstart[v]+iter[v]]
 			w := net.to[a]
 			if net.resid[a] <= 0 || level[w] != level[v]+1 {
@@ -217,11 +248,11 @@ func (s *Solver) dinic() int64 {
 	}
 
 	var total int64
-	for bfs() {
+	for !s.over() && bfs() {
 		for i := range iter {
 			iter[i] = 0
 		}
-		for {
+		for !s.over() {
 			pushed := dfs(src, math.MaxInt64)
 			if pushed == 0 {
 				break
@@ -242,7 +273,7 @@ func (s *Solver) edmondsKarp() int64 {
 	prevArc := s.prevArc
 	src, t := int32(flowgraph.Source), int32(flowgraph.Sink)
 	var total int64
-	for {
+	for !s.over() {
 		for i := range prevArc {
 			prevArc[i] = -1
 		}
@@ -252,6 +283,7 @@ func (s *Solver) edmondsKarp() int64 {
 	bfs:
 		for head := 0; head < len(q); head++ {
 			v := q[head]
+			s.spent += int64(len(net.arcs(v)))
 			for _, a := range net.arcs(v) {
 				w := net.to[a]
 				if net.resid[a] > 0 && prevArc[w] == -1 {
@@ -285,6 +317,7 @@ func (s *Solver) edmondsKarp() int64 {
 		}
 		total += bottleneck
 	}
+	return total // budget exhausted mid-search: partial flow
 }
 
 // Cut is a minimum s-t cut: the set of edges crossing from the source side

@@ -114,10 +114,17 @@ func (sv *Solver) pushRelabel() int64 {
 	// Re-run the global relabel every n work units (relabels).
 	relabels := 0
 	for head := 0; head < len(queue); head++ {
+		if sv.over() {
+			// Budget exhausted: stop discharging. The preflow's arrival at
+			// the sink (excess[t]) is what SolveBudgeted reports as the
+			// partial value.
+			break
+		}
 		v := queue[head]
 		inQueue[v] = false
 
 		for excess[v] > 0 {
+			sv.spent++
 			if iter[v] == net.hstart[v+1]-net.hstart[v] {
 				// Relabel: the height invariant (h[v] <= h[w]+1 on residual
 				// arcs) guarantees the new height strictly increases.

@@ -202,6 +202,15 @@ func (t *Tracker) ResetAll() {
 // Graph builds the flow graph for the execution so far.
 func (t *Tracker) Graph() *flowgraph.Graph { return t.b.build() }
 
+// GraphSize reports the current size of the accumulating graph — union-find
+// elements (an upper bound on nodes) and distinct labelled edges — without
+// building it. It is cheap enough for the engine's step-interval budget
+// polling: in exact mode graph growth tracks run time, and this is the
+// handle that bounds it mid-run.
+func (t *Tracker) GraphSize() (nodes, edges int) {
+	return t.b.uf.Len(), len(t.b.order)
+}
+
 // Warnings returns accumulated diagnostics.
 func (t *Tracker) Warnings() []Warning { return t.warnings }
 

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -15,14 +16,43 @@ const DefaultMemSize = 4 << 20
 // DefaultMaxSteps bounds runaway executions.
 const DefaultMaxSteps = 2_000_000_000
 
+// DefaultCheckEvery is the step interval at which Run polls the Check hook
+// when none is configured. It is large enough that the per-step overhead is
+// a single decrement, yet small enough that a stuck guest is interrupted
+// within microseconds.
+const DefaultCheckEvery = 4096
+
+// TrapKind classifies why a trap occurred. Genuine guest faults (bad
+// memory, division by zero, illegal opcodes) are distinguished from the
+// machine's own step budget running out: a step-limit trap says nothing
+// about the guest, only that the caller bounded it.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapFault     TrapKind = iota // the guest performed an illegal operation
+	TrapStepLimit                 // MaxSteps was exhausted
+)
+
+// ErrStepLimit matches (with errors.Is) any trap caused by step-budget
+// exhaustion rather than a guest fault.
+var ErrStepLimit = errors.New("vm: step limit exhausted")
+
 // Trap is a runtime fault in guest execution.
 type Trap struct {
 	PC   int
 	Site uint32
 	Msg  string
+	Kind TrapKind
 }
 
 func (t *Trap) Error() string { return fmt.Sprintf("trap at pc=%d: %s", t.PC, t.Msg) }
+
+// Is reports typed-sentinel matches: errors.Is(err, ErrStepLimit) holds
+// exactly for step-limit traps.
+func (t *Trap) Is(target error) bool {
+	return target == ErrStepLimit && t.Kind == TrapStepLimit
+}
 
 // Machine executes a Program. Create with NewMachine, set inputs, then Run.
 type Machine struct {
@@ -55,6 +85,15 @@ type Machine struct {
 	// Steps counts executed instructions; MaxSteps bounds them.
 	Steps    uint64
 	MaxSteps uint64
+
+	// Check, when non-nil, is polled by Run every CheckEvery steps
+	// (DefaultCheckEvery when zero). A non-nil return aborts the run with
+	// that error. It is the machine's cancellation and resource-budget
+	// seam: the analysis engine uses it to poll context deadlines, output
+	// and graph budgets, and injected faults without paying a per-step
+	// cost.
+	Check      func(m *Machine) error
+	CheckEvery uint64
 }
 
 // NewMachine creates a machine with the program's data segment loaded and
@@ -100,6 +139,8 @@ func (m *Machine) Reset() {
 	m.Tracer = nil
 	m.AfterInstr = nil
 	m.Steps = 0
+	m.Check = nil
+	m.CheckEvery = 0
 }
 
 func (m *Machine) trap(in *Instr, format string, args ...interface{}) error {
@@ -138,11 +179,36 @@ func (m *Machine) Bytes(addr Word, n int) []byte {
 	return m.Mem[addr : int(addr)+n]
 }
 
-// Run executes until the program halts or a trap occurs.
+// Run executes until the program halts, a trap occurs, or the Check hook
+// rejects the run.
 func (m *Machine) Run() error {
+	if m.Check == nil {
+		for !m.Halted {
+			if err := m.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	every := m.CheckEvery
+	if every == 0 {
+		every = DefaultCheckEvery
+	}
+	// Poll once up front so an already-expired deadline or already-blown
+	// budget stops even a run shorter than one interval.
+	if err := m.Check(m); err != nil {
+		return err
+	}
+	next := m.Steps + every
 	for !m.Halted {
 		if err := m.Step(); err != nil {
 			return err
+		}
+		if m.Steps >= next {
+			if err := m.Check(m); err != nil {
+				return err
+			}
+			next = m.Steps + every
 		}
 	}
 	return nil
@@ -158,7 +224,9 @@ func (m *Machine) Step() error {
 	}
 	if m.Steps >= m.MaxSteps {
 		in := &m.Prog.Code[m.PC]
-		return m.trap(in, "step limit (%d) exceeded", m.MaxSteps)
+		t := m.trap(in, "step limit (%d) exhausted", m.MaxSteps)
+		t.(*Trap).Kind = TrapStepLimit
+		return t
 	}
 	m.Steps++
 	in := &m.Prog.Code[m.PC]

@@ -1,0 +1,108 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// loopProg builds a program that spins forever: jmp to itself.
+func loopProg() *Program {
+	p := &Program{
+		Code: []Instr{
+			{Op: OpJmp, Imm: 0},
+		},
+	}
+	return p
+}
+
+func TestStepLimitTrapIsTyped(t *testing.T) {
+	m := NewMachineSize(loopProg(), int(DataBase)+16)
+	m.MaxSteps = 100
+	err := m.Run()
+	if err == nil {
+		t.Fatal("expected a step-limit trap")
+	}
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("errors.Is(err, ErrStepLimit) = false for %v", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapStepLimit {
+		t.Fatalf("trap = %#v, want Kind=TrapStepLimit", err)
+	}
+	if m.Steps != 100 {
+		t.Fatalf("executed %d steps, want 100", m.Steps)
+	}
+}
+
+func TestGuestFaultIsNotStepLimit(t *testing.T) {
+	// Load from address 0 (below DataBase) traps as a genuine fault.
+	p := &Program{Code: []Instr{
+		{Op: OpLoad, A: R0, B: R1, W: 4},
+		{Op: OpHalt},
+	}}
+	m := NewMachineSize(p, int(DataBase)+16)
+	err := m.Run()
+	if err == nil {
+		t.Fatal("expected a fault trap")
+	}
+	if errors.Is(err, ErrStepLimit) {
+		t.Fatalf("guest fault %v must not match ErrStepLimit", err)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapFault {
+		t.Fatalf("trap = %#v, want Kind=TrapFault", err)
+	}
+}
+
+func TestCheckHookPolledAndAborts(t *testing.T) {
+	m := NewMachineSize(loopProg(), int(DataBase)+16)
+	m.MaxSteps = 1 << 20
+	m.CheckEvery = 64
+	stop := errors.New("stop now")
+	calls := 0
+	m.Check = func(m *Machine) error {
+		calls++
+		if m.Steps >= 1000 {
+			return stop
+		}
+		return nil
+	}
+	err := m.Run()
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+	if calls < 2 {
+		t.Fatalf("hook called %d times, want repeated polling", calls)
+	}
+	// The hook fires at the first interval boundary at or after step 1000.
+	if m.Steps < 1000 || m.Steps > 1000+64 {
+		t.Fatalf("aborted at step %d, want within one interval of 1000", m.Steps)
+	}
+}
+
+func TestCheckHookUpFrontPoll(t *testing.T) {
+	m := NewMachineSize(loopProg(), int(DataBase)+16)
+	errEarly := fmt.Errorf("already expired")
+	m.Check = func(m *Machine) error { return errEarly }
+	if err := m.Run(); !errors.Is(err, errEarly) {
+		t.Fatalf("err = %v, want up-front hook error before any step", err)
+	}
+	if m.Steps != 0 {
+		t.Fatalf("executed %d steps, want 0", m.Steps)
+	}
+}
+
+func TestResetClearsCheckHook(t *testing.T) {
+	p := &Program{Code: []Instr{{Op: OpHalt}}}
+	m := NewMachineSize(p, int(DataBase)+16)
+	m.Check = func(m *Machine) error { return errors.New("boom") }
+	m.CheckEvery = 1
+	m.Reset()
+	if m.Check != nil || m.CheckEvery != 0 {
+		t.Fatal("Reset must detach the check hook")
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run after reset: %v", err)
+	}
+}

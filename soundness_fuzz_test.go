@@ -231,6 +231,76 @@ func TestSoundnessAgainstChannelCapacity(t *testing.T) {
 	}
 }
 
+// FuzzSoundness is the go-fuzz entry point over the same generator: the
+// fuzzer drives the program seed and one distinguished secret byte, and
+// each iteration checks the §3.1 soundness conditions against a sampled
+// ground truth (every 8th secret plus the fuzzed one). CI runs this as a
+// smoke pass (-fuzz=FuzzSoundness -fuzztime=20s); locally it can run for
+// hours hunting generator corners the fixed-seed tests never reach.
+func FuzzSoundness(f *testing.F) {
+	f.Add(int64(0), byte(0))
+	f.Add(int64(7), byte(37))
+	f.Add(int64(42), byte(255))
+	f.Add(int64(-1), byte(128))
+	f.Fuzz(func(t *testing.T, seed int64, secret byte) {
+		src := genProgram(seed)
+		prog, err := Compile("fuzz.mc", src)
+		if err != nil {
+			t.Fatalf("generated program does not compile: %v\n%s", err, src)
+		}
+
+		// Sampled ground truth: the distinct behaviors among the sampled
+		// secrets lower-bound the true channel capacity, and the merged
+		// bound over exactly those runs must still cover them.
+		secrets := []byte{secret}
+		for s := 0; s < 256; s += 8 {
+			if byte(s) != secret {
+				secrets = append(secrets, byte(s))
+			}
+		}
+		distinct := map[string]bool{}
+		inputs := make([]core.Inputs, len(secrets))
+		for i, s := range secrets {
+			inputs[i] = core.Inputs{Secret: []byte{s}}
+			m, err := core.RunPlain(prog, inputs[i], core.Config{})
+			if err != nil {
+				t.Fatalf("secret %d trapped: %v\n%s", s, err, src)
+			}
+			distinct[behavior(m)] = true
+
+			res, err := core.Analyze(prog, inputs[i], core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bits == 0 && len(distinct) > 1 {
+				t.Fatalf("UNSOUND: secret %d reported 0 bits but behaviors differ\n%s", s, src)
+			}
+		}
+		merged, err := core.AnalyzeMulti(prog, inputs, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if need := math.Log2(float64(len(distinct))); float64(merged.Bits) < need-1e-9 {
+			t.Fatalf("UNSOUND: merged bound %d bits < log2(%d sampled behaviors) = %.2f\n%s",
+				merged.Bits, len(distinct), need, src)
+		}
+
+		// Degradation must stay sound: the budget-exhausted fallback bound
+		// can only be looser than the real solve.
+		degraded, err := core.Analyze(prog, inputs[0], core.Config{Budget: core.Budget{SolverWork: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := core.Analyze(prog, inputs[0], core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if degraded.Degraded && degraded.Bits < exact.Bits {
+			t.Fatalf("UNSOUND: degraded bound %d < exact max flow %d\n%s", degraded.Bits, exact.Bits, src)
+		}
+	})
+}
+
 // The same harness with exact (uncollapsed) per-run graphs: exact mode must
 // be sound too.
 func TestSoundnessExactMode(t *testing.T) {
