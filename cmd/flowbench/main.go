@@ -44,15 +44,24 @@ var experimentsByName = []struct {
 	{"interp", "§10.3: analyzing interpreted code", runInterp},
 	{"batch", "engine: parallel batch vs serial multi-run", runBatch},
 	{"degrade", "engine: solver-budget degradation tradeoff", runDegrade},
+	{"static", "static analysis: region inference + cross-check", runStatic},
 }
 
 // timingRecord is the machine-readable per-experiment timing emitted by
-// -json (one array on stdout; the human tables go to stderr).
+// -json (one array on stdout; the human tables go to stderr). The static
+// experiment additionally reports its inferred-region and cross-check
+// finding totals, so the perf trajectory captures the new stage.
 type timingRecord struct {
-	Name    string  `json:"name"`
-	Desc    string  `json:"desc"`
-	Seconds float64 `json:"seconds"`
+	Name     string  `json:"name"`
+	Desc     string  `json:"desc"`
+	Seconds  float64 `json:"seconds"`
+	Regions  int     `json:"regions,omitempty"`
+	Findings int     `json:"findings,omitempty"`
 }
+
+// staticTotals carries the static experiment's counts from its run
+// function to the timing record (run functions return nothing).
+var staticTotals struct{ regions, findings int }
 
 func main() {
 	fs := flag.NewFlagSet("flowbench", flag.ExitOnError)
@@ -96,7 +105,11 @@ func main() {
 			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
 			start := time.Now()
 			e.run(sizes)
-			timings = append(timings, timingRecord{e.name, e.desc, time.Since(start).Seconds()})
+			rec := timingRecord{Name: e.name, Desc: e.desc, Seconds: time.Since(start).Seconds()}
+			if e.name == "static" {
+				rec.Regions, rec.Findings = staticTotals.regions, staticTotals.findings
+			}
+			timings = append(timings, rec)
 			fmt.Println()
 		}
 	}
@@ -270,6 +283,20 @@ func runDegrade(sizes []int) {
 		fmt.Printf("  %13d  %8d  %8v  %8s\n", p.Budget, p.Bits, p.Degraded, p.Solve.Round(time.Microsecond))
 	}
 	fmt.Println("(every budget yields a sound bound; exhausted solves fall back to the trivial cut)")
+}
+
+func runStatic(_ []int) {
+	rows := experiments.StaticPass()
+	fmt.Printf("%-12s %6s %7s %9s %8s %11s %9s %10s\n",
+		"guest", "funcs", "blocks", "branches", "regions", "enclosures", "findings", "time")
+	for _, r := range rows {
+		fmt.Printf("%-12s %6d %7d %9d %8d %11d %9d %10s\n",
+			r.Guest, r.Funcs, r.Blocks, r.Branches, r.Regions, r.Enclosures,
+			r.Findings, r.Elapsed.Round(time.Microsecond))
+	}
+	regions, findings := experiments.StaticTotals(rows)
+	staticTotals.regions, staticTotals.findings = regions, findings
+	fmt.Printf("total: %d inferred regions, %d cross-check findings (want 0)\n", regions, findings)
 }
 
 func runCollapse(sizes []int) {

@@ -66,9 +66,13 @@ func main() {
 	}
 }
 
+// errLint marks a run whose static/dynamic cross-check reported findings.
+var errLint = errors.New("lint findings")
+
 // exitCode maps the engine's failure taxonomy to distinct exit codes, so
 // scripts can tell a guest that ran out of steps (3) from a timeout (4), an
-// exceeded resource budget (5), or an internal failure (6).
+// exceeded resource budget (5), an internal failure (6), or lint findings
+// (7).
 func exitCode(err error) int {
 	switch {
 	case errors.Is(err, core.ErrStepLimit):
@@ -79,6 +83,8 @@ func exitCode(err error) int {
 		return 5
 	case errors.Is(err, core.ErrInternal):
 		return 6
+	case errors.Is(err, errLint):
+		return 7
 	}
 	return 1
 }
@@ -189,6 +195,7 @@ func cmdRun(args []string) error {
 	exact := fs.Bool("exact", false, "disable graph collapsing (per-operation graph)")
 	ctx := fs.Bool("ctx", false, "context-sensitive edge labels")
 	warn := fs.Bool("warn-implicit", false, "warn on implicit flows outside enclosure regions")
+	lint := fs.Bool("lint", false, "run the static pre-pass and cross-check it against the execution (findings exit with code 7)")
 	dot := fs.String("dot", "", "write the flow graph in DOT form to this file")
 	ek := fs.Bool("edmonds-karp", false, "use Edmonds-Karp instead of Dinic")
 	showOut := fs.Bool("show-output", true, "print the program's output")
@@ -211,6 +218,7 @@ func cmdRun(args []string) error {
 	}
 	cfg := core.Config{
 		Taint:    taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
+		Lint:     *lint,
 		Workers:  *workers,
 		MaxSteps: *maxSteps,
 		Budget: core.Budget{
@@ -302,6 +310,19 @@ func cmdRun(args []string) error {
 	for _, w := range res.Warnings {
 		fmt.Println("warning:", w)
 	}
+	if *lint {
+		if st := res.StaticStats; st != nil {
+			fmt.Printf("static: %d funcs, %d blocks, %d branches, %d inferred regions, %d enclosure spans\n",
+				st.Funcs, st.Blocks, st.Branches, st.Regions, st.Enclosures)
+		}
+		for _, f := range res.Lint {
+			fmt.Println("lint:", f)
+		}
+		if len(res.Lint) > 0 {
+			return fmt.Errorf("%d %w", len(res.Lint), errLint)
+		}
+		fmt.Println("lint: cross-check clean")
+	}
 	if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
@@ -352,7 +373,7 @@ func cmdCheck(args []string) error {
 		if bud < 0 {
 			bud = res.TaintedOutputBits + res.Bits // site-granular checking over-counts; allow slack
 		}
-		fmt.Printf("derived cut from analysis: sites %v (flow %d bits)\n", cut, res.Bits)
+		fmt.Printf("derived cut from analysis (flow %d bits):\n%s", res.Bits, describeSites(prog, cut))
 	}
 	r, err := check.RunTaintCheck(prog, in.Secret, in.Public, cut, 0)
 	if err != nil {
@@ -397,7 +418,7 @@ func cmdLockstep(args []string) error {
 		return err
 	}
 	cut := res.CutSites()
-	fmt.Printf("derived cut from analysis: sites %v (flow %d bits)\n", cut, res.Bits)
+	fmt.Printf("derived cut from analysis (flow %d bits):\n%s", res.Bits, describeSites(prog, cut))
 	r, err := check.RunLockstep(prog, in.Secret, dummy, in.Public, cut, 0)
 	if err != nil {
 		return err
@@ -487,6 +508,16 @@ func cmdInfer(args []string) error {
 		}
 	}
 	return nil
+}
+
+// describeSites renders cut sites — instruction addresses — with their
+// source locations, one per line, via the program's location table.
+func describeSites(prog *vm.Program, sites []uint32) string {
+	var b strings.Builder
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  site %d: %s\n", s, prog.LocString(int(s)))
+	}
+	return b.String()
 }
 
 func abbrev(b []byte) []byte {

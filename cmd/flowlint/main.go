@@ -1,0 +1,83 @@
+// Command flowlint statically analyzes guest programs and cross-checks
+// the results against a dynamic run: it builds per-function CFGs and
+// postdominator-based enclosure regions (internal/static), executes each
+// guest on its sample inputs with the taint tracker's probe attached,
+// and reports any divergence — a tainted branch outside every inferred
+// region, a dynamic enclosure interval with no matching static span, or
+// an enclosure annotation that fails to bracket the code its branches
+// control.
+//
+// Usage:
+//
+//	flowlint [-v] [guest ...]
+//
+// With no arguments it lints every guest program. Exit status 1 means at
+// least one finding (or a failed run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowcheck/internal/engine"
+	"flowcheck/internal/guest"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-guest static statistics")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flowlint [-v] [guest ...]\n\nguests: %v\n", guest.Names())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = guest.Names()
+	}
+
+	failed := false
+	for _, name := range names {
+		if err := lintOne(name, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "flowlint: %s: %v\n", name, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func lintOne(name string, verbose bool) error {
+	secret, public, ok := guest.SampleInputs(name)
+	if !ok {
+		return fmt.Errorf("unknown guest (have %v)", guest.Names())
+	}
+	prog := guest.Program(name)
+
+	a := engine.New(prog, engine.Config{Lint: true})
+	res, err := a.Analyze(engine.Inputs{Secret: secret, Public: public})
+	if err != nil {
+		return fmt.Errorf("analysis failed: %w", err)
+	}
+	if res.Trap != nil {
+		return fmt.Errorf("guest trapped: %w", res.Trap)
+	}
+
+	st := res.StaticStats
+	if verbose {
+		fmt.Printf("%-12s %3d funcs %4d blocks %4d branches %4d regions %2d enclosures  (static %v)\n",
+			name, st.Funcs, st.Blocks, st.Branches, st.Regions, st.Enclosures, res.Stages.Static)
+	}
+	if len(res.Lint) == 0 {
+		if !verbose {
+			fmt.Printf("%-12s ok (%d regions, %d enclosures)\n", name, st.Regions, st.Enclosures)
+		}
+		return nil
+	}
+	for _, f := range res.Lint {
+		fmt.Printf("%s: %s\n", name, f)
+	}
+	return fmt.Errorf("%d cross-check finding(s)", len(res.Lint))
+}

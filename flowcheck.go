@@ -62,6 +62,11 @@ type (
 	// Budget bounds the resources one analysis run may consume
 	// (Config.Budget); the zero value is unlimited.
 	Budget = core.Budget
+	// Finding is one static/dynamic cross-check violation reported on
+	// Result.Lint when Config.Lint is set.
+	Finding = core.Finding
+	// StaticStats summarizes the static pre-pass behind Config.Lint.
+	StaticStats = core.StaticStats
 )
 
 // The failure taxonomy: every analysis failure matches exactly one of

@@ -22,6 +22,7 @@ import (
 	"context"
 
 	"flowcheck/internal/engine"
+	"flowcheck/internal/static"
 	"flowcheck/internal/vm"
 )
 
@@ -53,6 +54,10 @@ type (
 	CancelError = engine.CancelError
 	// InternalError is a recovered pipeline-stage panic.
 	InternalError = engine.InternalError
+	// Finding is one static/dynamic cross-check violation (Config.Lint).
+	Finding = static.Finding
+	// StaticStats summarizes the static pre-pass behind Config.Lint.
+	StaticStats = static.Stats
 )
 
 // The engine's failure taxonomy: every analysis failure matches exactly

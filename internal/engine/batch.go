@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"flowcheck/internal/flowgraph"
 	"flowcheck/internal/maxflow"
 	"flowcheck/internal/merge"
+	"flowcheck/internal/static"
 	"flowcheck/internal/taint"
 )
 
@@ -213,6 +215,10 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 		res.Runs = append(res.Runs, summarize(i, r))
 		res.Warnings = append(res.Warnings, r.Warnings...)
 		res.Snapshots = append(res.Snapshots, r.Snapshots...)
+		res.Lint = mergeFindings(res.Lint, r.Lint)
+		if r.StaticStats != nil {
+			res.StaticStats = r.StaticStats
+		}
 		addStats(&res.Stats, r.Stats)
 		agg.add(r.Stages)
 		// Execution facts mirror AnalyzeMulti: the last surviving run's.
@@ -261,6 +267,35 @@ func (a *Analyzer) AnalyzeClassesContext(ctx context.Context, in Inputs, classes
 		return nil, err
 	}
 	return out, nil
+}
+
+// mergeFindings appends the findings of one run, deduplicating by kind
+// and pc: every run cross-checks against the same cached static
+// analysis, so the purely static findings (and any violation triggered
+// by more than one input) repeat verbatim across runs.
+func mergeFindings(dst, src []static.Finding) []static.Finding {
+	type key struct {
+		kind static.FindingKind
+		pc   int
+	}
+	seen := make(map[key]bool, len(dst))
+	for _, f := range dst {
+		seen[key{f.Kind, f.PC}] = true
+	}
+	for _, f := range src {
+		k := key{f.Kind, f.PC}
+		if !seen[k] {
+			seen[k] = true
+			dst = append(dst, f)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].PC != dst[j].PC {
+			return dst[i].PC < dst[j].PC
+		}
+		return dst[i].Kind < dst[j].Kind
+	})
+	return dst
 }
 
 func addStats(dst *taint.Stats, s taint.Stats) {

@@ -34,6 +34,7 @@ import (
 	"flowcheck/internal/flowgraph"
 	"flowcheck/internal/lang"
 	"flowcheck/internal/maxflow"
+	"flowcheck/internal/static"
 	"flowcheck/internal/taint"
 	"flowcheck/internal/vm"
 )
@@ -61,6 +62,13 @@ type Config struct {
 	// Fault injects deterministic failures for testing the degradation
 	// paths (internal/fault); nil injects nothing.
 	Fault *fault.Plan
+	// Lint enables the static pre-pass and the static/dynamic
+	// cross-check: CFGs, postdominator-based enclosure regions, and
+	// enclosure-span matching are computed once per Analyzer
+	// (internal/static), a probe records the run's tainted branches and
+	// region events, and the violations land on Result.Lint. Adds the
+	// Static stage duration to Result.Stages.
+	Lint bool
 }
 
 // Inputs is one execution's input pair: the secret input whose disclosure
@@ -78,7 +86,8 @@ type session struct {
 	m       *vm.Machine
 	tracker *taint.Tracker
 	solver  *maxflow.Solver
-	used    bool // machine has executed and needs Reset before reuse
+	rec     *static.Recorder // dynamic-event recorder for Config.Lint
+	used    bool             // machine has executed and needs Reset before reuse
 }
 
 // prepare readies the machine for one run.
@@ -117,6 +126,12 @@ type Analyzer struct {
 	// observable that the robustness tests use to prove no failure path
 	// leaks a session.
 	live atomic.Int64
+
+	// Static analysis is a pure function of the (immutable) program, so it
+	// is computed at most once per Analyzer and shared by every run.
+	staticMu  sync.Mutex
+	static    *static.Analysis
+	staticDur time.Duration
 }
 
 // New creates an Analyzer for prog under cfg.
@@ -137,6 +152,28 @@ func New(prog *vm.Program, cfg Config) *Analyzer {
 
 // Program returns the analyzed program.
 func (a *Analyzer) Program() *vm.Program { return a.prog }
+
+// Static returns the cached static analysis of the program, computing it
+// on first call. It is available independently of Config.Lint (cmd/flowlint
+// uses it without running anything).
+func (a *Analyzer) Static() *static.Analysis {
+	sa, _ := a.staticAnalysis()
+	return sa
+}
+
+// staticAnalysis returns the cached analysis plus the time spent by THIS
+// call (zero on cache hits), so stage accounting charges the pass once.
+func (a *Analyzer) staticAnalysis() (*static.Analysis, time.Duration) {
+	a.staticMu.Lock()
+	defer a.staticMu.Unlock()
+	if a.static == nil {
+		t0 := time.Now()
+		a.static = static.Analyze(a.prog)
+		a.staticDur = time.Since(t0)
+		return a.static, a.staticDur
+	}
+	return a.static, 0
+}
 
 // Config returns the analyzer's configuration.
 func (a *Analyzer) Config() Config { return a.cfg }
@@ -217,10 +254,26 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 	}()
 	var st StageStats
 
+	// Optional static pre-pass: computed once per Analyzer, then each run
+	// just installs a probe so the cross-check can compare this run's
+	// dynamic events against the cached regions and spans.
+	var sa *static.Analysis
+	if a.cfg.Lint {
+		sa, st.Static = a.staticAnalysis()
+		if s.rec == nil {
+			s.rec = static.NewRecorder()
+		} else {
+			s.rec.Reset()
+		}
+	}
+
 	t0 := time.Now()
 	injectPanic(inj, fault.StageExecute)
 	s.prepare(a.cfg, in)
 	tr.Attach(s.m)
+	if sa != nil {
+		tr.SetProbe(s.rec)
+	}
 	if check := a.checkHook(ctx, tr, inj); check != nil {
 		s.m.Check = check
 		s.m.CheckEvery = a.cfg.Budget.CheckEvery
@@ -283,6 +336,12 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 
 	stage = fault.StageReport
 	injectPanic(inj, fault.StageReport)
+	var lint []static.Finding
+	var staticStats *static.Stats
+	if sa != nil {
+		lint = static.CrossCheck(sa, s.rec)
+		staticStats = &sa.Stats
+	}
 	taintedOut := taintedOutputBits(g)
 	bits := trivialCutBits(g)
 	if flow != nil {
@@ -303,6 +362,8 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 		Warnings:          tr.Warnings(),
 		Snapshots:         tr.Snapshots(),
 		Stats:             tr.Stats(),
+		Lint:              lint,
+		StaticStats:       staticStats,
 		prog:              a.prog,
 	}
 	st.Report = time.Since(t3)

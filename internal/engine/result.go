@@ -8,6 +8,7 @@ import (
 
 	"flowcheck/internal/flowgraph"
 	"flowcheck/internal/maxflow"
+	"flowcheck/internal/static"
 	"flowcheck/internal/taint"
 	"flowcheck/internal/vm"
 )
@@ -45,6 +46,15 @@ type Result struct {
 	Warnings  []taint.Warning
 	Snapshots []taint.Snapshot
 	Stats     taint.Stats
+
+	// Lint holds the static/dynamic cross-check findings when Config.Lint
+	// is set (internal/static): empty means the run's tainted branches and
+	// enclosure intervals all validated against the inferred regions.
+	// Multi-run results deduplicate findings by kind and pc.
+	Lint []static.Finding
+	// StaticStats summarizes the static pre-pass (functions, blocks,
+	// branches, regions, enclosure spans); nil unless Config.Lint is set.
+	StaticStats *static.Stats
 
 	// Runs summarizes each execution of a multi-run analysis (AnalyzeMulti,
 	// AnalyzeBatch), in run order; nil for single-run results.
@@ -100,6 +110,7 @@ func summarize(run int, r *Result) RunSummary {
 // stage. Multi-run results sum stages across runs; Merge covers the offline
 // §3.2 graph merge (batch only) and Solve includes the joint solve.
 type StageStats struct {
+	Static  time.Duration // one-time static pre-pass (Config.Lint; charged to the run that computed it)
 	Execute time.Duration // VM run with tracker attached
 	Build   time.Duration // tracker state -> flow network
 	Solve   time.Duration // max flow + min cut
@@ -109,6 +120,7 @@ type StageStats struct {
 }
 
 func (st *StageStats) add(o StageStats) {
+	st.Static += o.Static
 	st.Execute += o.Execute
 	st.Build += o.Build
 	st.Solve += o.Solve
@@ -119,6 +131,9 @@ func (st *StageStats) add(o StageStats) {
 
 func (st StageStats) String() string {
 	s := fmt.Sprintf("execute %v, build %v, solve %v, report %v", st.Execute, st.Build, st.Solve, st.Report)
+	if st.Static > 0 {
+		s = fmt.Sprintf("static %v, ", st.Static) + s
+	}
 	if st.Merge > 0 {
 		s += fmt.Sprintf(", merge %v", st.Merge)
 	}

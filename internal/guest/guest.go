@@ -31,6 +31,7 @@ import (
 	"flowcheck/internal/lang/ast"
 	"flowcheck/internal/lang/parser"
 	"flowcheck/internal/vm"
+	"flowcheck/internal/workload"
 )
 
 //go:embed sources/*.mc
@@ -87,4 +88,52 @@ func Program(name string) *vm.Program {
 // AST parses a guest program (for the §8.6 inference study).
 func AST(name string) (*ast.File, error) {
 	return parser.Parse(name+".mc", Source(name))
+}
+
+// SampleInputs returns a representative secret/public input pair for a
+// guest — enough to drive it down its interesting paths (tainted
+// branches, enclosure regions) for smoke tests and the static/dynamic
+// cross-check of cmd/flowlint. The recipes mirror the experiment inputs
+// of internal/experiments. ok is false for unknown names.
+func SampleInputs(name string) (secret, public []byte, ok bool) {
+	switch name {
+	case "count_punct":
+		return []byte("one. two. three? four. five. six? seven. eight. nine? ten. eleven. twelve?"), nil, true
+	case "battleship":
+		shots := [][2]byte{{0, 0}, {3, 4}, {5, 5}, {9, 9}}
+		return workload.BattleshipSecret(7), workload.BattleshipShots(0, shots), true
+	case "sshauth":
+		key := make([]byte, 64)
+		for i := range key {
+			key[i] = byte(i*37 + 11)
+		}
+		return key, append([]byte("session-id-0123!"), []byte("challenge-bytes!")...), true
+	case "imagefilter":
+		return workload.Image(25, 25, 1), []byte{0}, true
+	case "calendar":
+		secret := workload.CalendarSecret([]workload.Appointment{
+			{StartSlot: 20, EndSlot: 24},
+			{StartSlot: 30, EndSlot: 33},
+		})
+		return secret, workload.CalendarQuery(2, 9, 18), true
+	case "xserver":
+		text := []byte("Hello, world!")
+		s := append([]byte{}, []byte("card=4111111111111111 pin=0000!!")...)
+		s = append(s, byte(len(text)))
+		return append(s, text...), []byte{0}, true
+	case "compress":
+		return workload.PiWords(512), nil, true
+	case "interp":
+		secret := make([]byte, 64)
+		for i := range secret {
+			secret[i] = byte(i*29 + 7)
+		}
+		script := []byte{1, 3, 2, 0x0F, 5, 7, 0}
+		return secret, append([]byte{byte(len(script))}, script...), true
+	case "unary":
+		return []byte{5}, nil, true
+	case "divzero":
+		return []byte{9, 0, 0, 0, 3, 0, 0, 0}, nil, true
+	}
+	return nil, nil, false
 }

@@ -1,0 +1,53 @@
+package infer_test
+
+import (
+	"testing"
+
+	"flowcheck/internal/guest"
+	"flowcheck/internal/infer"
+)
+
+// TestAllGuestsFigure6 pins the Figure 6 classification for every guest
+// case study: how many enclosure regions each program annotates by hand,
+// and how the inference fares on each (found as-is, needs the expansion
+// heuristic, needs interprocedural analysis, needs a length bound).
+// Guests without hand annotations must stay at zero across the board —
+// a nonzero row there means the parser or inference started
+// hallucinating regions.
+func TestAllGuestsFigure6(t *testing.T) {
+	want := map[string]infer.Report{
+		"battleship":  {HandAnnots: 1, MissExpand: 1},
+		"calendar":    {HandAnnots: 1, MissExpand: 1},
+		"compress":    {HandAnnots: 4, FoundCount: 1, MissExpand: 3},
+		"count_punct": {HandAnnots: 4, FoundCount: 4},
+		"divzero":     {},
+		"imagefilter": {},
+		"interp":      {},
+		"sshauth":     {},
+		"unary":       {},
+		"xserver":     {HandAnnots: 1, FoundCount: 1},
+	}
+	names := guest.Names()
+	if len(names) != len(want) {
+		t.Fatalf("guest set changed: %d guests, table has %d — update the table", len(names), len(want))
+	}
+	for _, name := range names {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no expected row — add one", name)
+			continue
+		}
+		f, err := guest.AST(name)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		r := infer.AnalyzeFile(name, f)
+		if r.HandAnnots != w.HandAnnots || r.NeedLength != w.NeedLength ||
+			r.MissExpand != w.MissExpand || r.MissInterp != w.MissInterp ||
+			r.FoundCount != w.FoundCount {
+			t.Errorf("%s: hand=%d needlen=%d expansion=%d interproc=%d found=%d, want %d/%d/%d/%d/%d",
+				name, r.HandAnnots, r.NeedLength, r.MissExpand, r.MissInterp, r.FoundCount,
+				w.HandAnnots, w.NeedLength, w.MissExpand, w.MissInterp, w.FoundCount)
+		}
+	}
+}

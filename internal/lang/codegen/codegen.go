@@ -49,6 +49,7 @@ type gen struct {
 	curFn   string
 
 	funcEntry map[string]int
+	funcs     []vm.FuncInfo
 	callFix   []fixup
 
 	// Per-function state.
@@ -86,6 +87,7 @@ func Compile(f *ast.File) (*vm.Program, error) {
 		Data:    g.data,
 		Entry:   g.funcEntry["__start"],
 		Sites:   g.sites,
+		Funcs:   g.funcs,
 		Globals: g.globals,
 	}
 	return p, nil
@@ -118,6 +120,7 @@ func (g *gen) compile() error {
 	mainFix := len(g.code)
 	g.emit(vm.Instr{Op: vm.OpCall, Imm: -1})
 	g.emit(vm.Instr{Op: vm.OpHalt})
+	g.funcs = append(g.funcs, vm.FuncInfo{Name: "__start", Entry: g.funcEntry["__start"], End: len(g.code)})
 
 	// Compile functions.
 	for _, fn := range g.f.Funcs {
@@ -259,6 +262,7 @@ func (g *gen) fn(fn *ast.FuncDecl) error {
 	g.tableFix = g.tableFix[:0]
 	g.labelTargs = g.labelTargs[:0]
 	g.labelFix = g.labelFix[:0]
+	g.funcs = append(g.funcs, vm.FuncInfo{Name: fn.Name, Entry: g.funcEntry[fn.Name], End: len(g.code)})
 	return nil
 }
 

@@ -2,6 +2,8 @@ package codegen
 
 import (
 	"encoding/binary"
+	"fmt"
+	"strings"
 	"testing"
 
 	"flowcheck/internal/lang/parser"
@@ -222,5 +224,87 @@ func TestFallOffEndReturnsZero(t *testing.T) {
 	}
 	if m.ExitCode != 0 {
 		t.Fatalf("fall-off exit = %d, want 0", m.ExitCode)
+	}
+}
+
+func TestFuncTable(t *testing.T) {
+	p := compile(t, `
+int helper(int x) { return x + 1; }
+int main() { return helper(41); }`)
+	if len(p.Funcs) < 3 { // __start, helper, main
+		t.Fatalf("function table = %+v, want __start + 2 functions", p.Funcs)
+	}
+	names := map[string]bool{}
+	for i, f := range p.Funcs {
+		names[f.Name] = true
+		if f.Entry >= f.End {
+			t.Fatalf("%s: empty extent [%d,%d)", f.Name, f.Entry, f.End)
+		}
+		if i > 0 {
+			prev := p.Funcs[i-1]
+			if f.Entry != prev.End {
+				t.Fatalf("gap between %s (ends %d) and %s (enters %d); extents must tile the code",
+					prev.Name, prev.End, f.Name, f.Entry)
+			}
+		}
+	}
+	if !names["__start"] || !names["helper"] || !names["main"] {
+		t.Fatalf("function names = %v", names)
+	}
+	if last := p.Funcs[len(p.Funcs)-1]; last.End != len(p.Code) {
+		t.Fatalf("last extent ends at %d, code has %d instructions", last.End, len(p.Code))
+	}
+	// FuncAt agrees with the extents at every pc.
+	for pc := range p.Code {
+		f := p.FuncAt(pc)
+		if f == nil {
+			t.Fatalf("FuncAt(%d) = nil inside the code", pc)
+		}
+		if pc < f.Entry || pc >= f.End {
+			t.Fatalf("FuncAt(%d) = %+v does not contain pc", pc, f)
+		}
+	}
+	if p.FuncAt(-1) != nil || p.FuncAt(len(p.Code)) != nil {
+		t.Fatal("FuncAt out of range should be nil")
+	}
+}
+
+func TestLocStringFormats(t *testing.T) {
+	p := compile(t, `int main() {
+    int x;
+    x = 1;
+    return x;
+}`)
+	// Every pc names at least its function and pc; inside user functions the
+	// synthesized prologue aside, stores carry file:line. (__start has no
+	// source lines, so it falls back to fn+off.)
+	sawLine := false
+	for pc := range p.Code {
+		s := p.LocString(pc)
+		if !strings.Contains(s, fmt.Sprintf("@pc=%d", pc)) {
+			t.Fatalf("pc %d: LocString = %q lacks the pc", pc, s)
+		}
+		if f := p.FuncAt(pc); f != nil && f.Name == "main" && strings.Contains(s, "t.mc:") {
+			sawLine = true
+		}
+	}
+	if !sawLine {
+		t.Fatal("no instruction in main resolved to a file:line location")
+	}
+	if got := p.LocString(-1); got != "pc=-1" {
+		t.Fatalf("out of range LocString = %q", got)
+	}
+	// A program with a function table but no site info falls back to fn+off.
+	bare := &vm.Program{
+		Code:  []vm.Instr{{Op: vm.OpNop}, {Op: vm.OpHalt}},
+		Funcs: []vm.FuncInfo{{Name: "f", Entry: 0, End: 2}},
+	}
+	if got := bare.LocString(1); got != "f+1 @pc=1" {
+		t.Fatalf("bare LocString = %q", got)
+	}
+	// Neither table: raw pc.
+	raw := &vm.Program{Code: []vm.Instr{{Op: vm.OpHalt}}}
+	if got := raw.LocString(0); got != "pc=0" {
+		t.Fatalf("raw LocString = %q", got)
 	}
 }

@@ -1,0 +1,229 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+
+	"flowcheck/internal/vm"
+)
+
+// Recorder collects the dynamic ground truth a cross-check needs: which
+// tainted branches and indirect jumps actually executed, and which
+// enclosure regions were entered and left. It satisfies the
+// taint.Probe interface structurally (this package deliberately does not
+// import internal/taint), so a Tracker can carry one without an import
+// cycle. A Recorder serves a single run; call Reset before reuse.
+type Recorder struct {
+	branches  map[int]bool // pcs of tainted Jz/Jnz executed
+	indirects map[int]bool // pcs of tainted JmpInd/Ret executed
+	pairs     map[[2]int]bool
+	stack     []int
+	orphans   []int // Leave pcs seen with an empty region stack
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	r.Reset()
+	return r
+}
+
+// Reset clears all recorded state for reuse across runs.
+func (r *Recorder) Reset() {
+	r.branches = make(map[int]bool)
+	r.indirects = make(map[int]bool)
+	r.pairs = make(map[[2]int]bool)
+	r.stack = r.stack[:0]
+	r.orphans = r.orphans[:0]
+}
+
+// TaintedBranch records a conditional branch executed on tainted data.
+func (r *Recorder) TaintedBranch(pc int) { r.branches[pc] = true }
+
+// TaintedIndirect records an indirect jump (or return) through a tainted
+// address.
+func (r *Recorder) TaintedIndirect(pc int) { r.indirects[pc] = true }
+
+// RegionEnter records a SysEnterRegion executed at pc.
+func (r *Recorder) RegionEnter(pc int) { r.stack = append(r.stack, pc) }
+
+// RegionLeave records a SysLeaveRegion executed at pc, pairing it with
+// the innermost open Enter.
+func (r *Recorder) RegionLeave(pc int) {
+	if len(r.stack) == 0 {
+		r.orphans = append(r.orphans, pc)
+		return
+	}
+	enter := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	r.pairs[[2]int{enter, pc}] = true
+}
+
+// Observed reports whether the recorder saw any relevant dynamic events.
+func (r *Recorder) Observed() bool {
+	return len(r.branches) > 0 || len(r.indirects) > 0 || len(r.pairs) > 0 || len(r.orphans) > 0
+}
+
+// FindingKind classifies a cross-check violation.
+type FindingKind int
+
+const (
+	// UncoveredBranch: a tainted conditional branch executed at runtime
+	// has no statically inferred region (no CFG covers its pc).
+	UncoveredBranch FindingKind = iota
+	// UncoveredIndirect: a tainted indirect jump or return executed with
+	// no inferred region covering it.
+	UncoveredIndirect
+	// UnmatchedRegion: a dynamically observed Enter/Leave interval has no
+	// matching static enclosure span.
+	UnmatchedRegion
+	// RegionEscape: a tainted branch inside an enclosure has an inferred
+	// region extending past the enclosure's Leave — the annotation does
+	// not bracket all the code the branch controls.
+	RegionEscape
+	// UnbalancedEnclosure: a static Enter with no matching Leave (or the
+	// reverse) in its function.
+	UnbalancedEnclosure
+)
+
+var findingNames = [...]string{
+	UncoveredBranch:     "uncovered-branch",
+	UncoveredIndirect:   "uncovered-indirect",
+	UnmatchedRegion:     "unmatched-region",
+	RegionEscape:        "region-escape",
+	UnbalancedEnclosure: "unbalanced-enclosure",
+}
+
+func (k FindingKind) String() string {
+	if int(k) < len(findingNames) {
+		return findingNames[k]
+	}
+	return fmt.Sprintf("finding(%d)", int(k))
+}
+
+// Finding is one cross-check violation, located for human consumption.
+type Finding struct {
+	Kind  FindingKind
+	PC    int
+	Where string // Prog.LocString(PC)
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s at %s: %s", f.Kind, f.Where, f.Msg)
+}
+
+// Lint reports the purely static findings of the analysis: unbalanced
+// enclosure annotations. It needs no dynamic run.
+func (a *Analysis) Lint() []Finding {
+	var fs []Finding
+	for _, s := range a.Spans {
+		if !s.Balanced {
+			msg := "enclosure Enter without a matching Leave in " + s.Func
+			if s.Enter == s.Leave {
+				msg = "enclosure Leave without a matching Enter in " + s.Func
+			}
+			fs = append(fs, Finding{
+				Kind: UnbalancedEnclosure, PC: s.Enter,
+				Where: a.Prog.LocString(s.Enter), Msg: msg,
+			})
+		}
+	}
+	return fs
+}
+
+// CrossCheck validates the static analysis against one run's dynamic
+// observations. Soundness contract (see DESIGN.md): every tainted
+// branch/indirect executed must be covered by an inferred region, every
+// dynamic Enter/Leave interval must match a static span exactly, and a
+// tainted branch inside an enclosure must have its whole inferred region
+// inside that enclosure. Violations come back sorted by pc.
+func CrossCheck(a *Analysis, rec *Recorder) []Finding {
+	fs := a.Lint()
+
+	for pc := range rec.branches {
+		if !a.Covered(pc) {
+			fs = append(fs, Finding{
+				Kind: UncoveredBranch, PC: pc, Where: a.Prog.LocString(pc),
+				Msg: "tainted conditional branch executed outside every inferred region",
+			})
+		}
+	}
+	for pc := range rec.indirects {
+		if !a.Covered(pc) {
+			fs = append(fs, Finding{
+				Kind: UncoveredIndirect, PC: pc, Where: a.Prog.LocString(pc),
+				Msg: "tainted indirect transfer executed outside every inferred region",
+			})
+		}
+	}
+
+	for pair := range rec.pairs {
+		if !hasSpan(a.Spans, pair[0], pair[1]) {
+			fs = append(fs, Finding{
+				Kind: UnmatchedRegion, PC: pair[0], Where: a.Prog.LocString(pair[0]),
+				Msg: fmt.Sprintf("dynamic enclosure [%d,%d] has no matching static span", pair[0], pair[1]),
+			})
+		}
+	}
+	for _, pc := range rec.orphans {
+		fs = append(fs, Finding{
+			Kind: UnmatchedRegion, PC: pc, Where: a.Prog.LocString(pc),
+			Msg: "dynamic Leave executed with no open region",
+		})
+	}
+
+	// Region escape: the innermost enclosure containing a tainted branch
+	// must contain the branch's whole inferred region. Functions are
+	// contiguous, so a span only ever contains pcs of its own function
+	// and the containment test over [Enter, Leave] is exact.
+	byBranch := make(map[int]*Region, len(a.Regions))
+	for _, r := range a.Regions {
+		byBranch[r.Branch] = r
+	}
+	for pc := range rec.branches {
+		s := spanAt(a.Spans, pc)
+		if s == nil {
+			continue
+		}
+		r := byBranch[pc]
+		if r == nil {
+			continue // already reported as UncoveredBranch
+		}
+		if esc := regionEscapes(a.Prog, r, s); esc >= 0 {
+			fs = append(fs, Finding{
+				Kind: RegionEscape, PC: pc, Where: a.Prog.LocString(pc),
+				Msg: fmt.Sprintf("inferred region of tainted branch reaches %s, past the enclosure [%d,%d]",
+					a.Prog.LocString(esc), s.Enter, s.Leave),
+			})
+		}
+	}
+
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].PC != fs[j].PC {
+			return fs[i].PC < fs[j].PC
+		}
+		return fs[i].Kind < fs[j].Kind
+	})
+	return fs
+}
+
+func hasSpan(spans []Span, enter, leave int) bool {
+	for _, s := range spans {
+		if s.Balanced && s.Enter == enter && s.Leave == leave {
+			return true
+		}
+	}
+	return false
+}
+
+// regionEscapes returns the first region pc outside the span, or -1 if
+// the region is fully contained.
+func regionEscapes(p *vm.Program, r *Region, s *Span) int {
+	for pc := 0; pc < len(p.Code); pc++ {
+		if r.Covers(pc) && !s.Contains(pc) {
+			return pc
+		}
+	}
+	return -1
+}

@@ -1,0 +1,136 @@
+package static
+
+import (
+	"strings"
+	"testing"
+
+	"flowcheck/internal/vm"
+)
+
+func sys(n int32) vm.Instr { return vm.Instr{Op: vm.OpSys, Imm: n} }
+
+func TestSpanMatching(t *testing.T) {
+	code := []vm.Instr{
+		/* 0 */ sys(vm.SysEnterRegion),
+		/* 1 */ {Op: vm.OpNop},
+		/* 2 */ sys(vm.SysEnterRegion),
+		/* 3 */ {Op: vm.OpNop},
+		/* 4 */ sys(vm.SysLeaveRegion),
+		/* 5 */ sys(vm.SysLeaveRegion),
+		/* 6 */ {Op: vm.OpHalt},
+	}
+	a := Analyze(oneFunc("f", code))
+	if len(a.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(a.Spans), a.Spans)
+	}
+	outer, inner := a.Spans[0], a.Spans[1]
+	if outer.Enter != 0 || outer.Leave != 5 || outer.Depth != 0 || !outer.Balanced {
+		t.Fatalf("outer span = %+v", outer)
+	}
+	if inner.Enter != 2 || inner.Leave != 4 || inner.Depth != 1 || !inner.Balanced {
+		t.Fatalf("inner span = %+v", inner)
+	}
+	if s := spanAt(a.Spans, 3); s == nil || s.Enter != 2 {
+		t.Fatalf("spanAt(3) = %+v, want the inner span", s)
+	}
+	if s := spanAt(a.Spans, 1); s == nil || s.Enter != 0 {
+		t.Fatalf("spanAt(1) = %+v, want the outer span", s)
+	}
+	if got := a.Lint(); len(got) != 0 {
+		t.Fatalf("balanced spans produced findings: %v", got)
+	}
+}
+
+func TestUnbalancedEnclosureLint(t *testing.T) {
+	a := Analyze(oneFunc("f", []vm.Instr{
+		sys(vm.SysEnterRegion), // never left
+		{Op: vm.OpHalt},
+	}))
+	fs := a.Lint()
+	if len(fs) != 1 || fs[0].Kind != UnbalancedEnclosure {
+		t.Fatalf("findings = %v, want one unbalanced-enclosure", fs)
+	}
+}
+
+func TestCrossCheckUncoveredAndUnmatched(t *testing.T) {
+	// No function table: nothing is covered, so every dynamic event is a
+	// violation — the checker catches programs the static pass can't see.
+	p := &vm.Program{Code: []vm.Instr{
+		{Op: vm.OpJnz, A: vm.R0, Imm: 0},
+		{Op: vm.OpHalt},
+	}}
+	a := Analyze(p)
+	rec := NewRecorder()
+	rec.TaintedBranch(0)
+	rec.TaintedIndirect(0)
+	rec.RegionEnter(0)
+	rec.RegionLeave(1)
+	rec.RegionLeave(1) // no open region
+
+	fs := CrossCheck(a, rec)
+	kinds := map[FindingKind]int{}
+	for _, f := range fs {
+		kinds[f.Kind]++
+	}
+	if kinds[UncoveredBranch] != 1 || kinds[UncoveredIndirect] != 1 || kinds[UnmatchedRegion] != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestCrossCheckRegionEscape(t *testing.T) {
+	// A tainted branch inside an enclosure whose region (branch to join)
+	// extends past the Leave: the annotation fails to bracket the code
+	// the branch controls.
+	code := []vm.Instr{
+		/* 0 */ sys(vm.SysEnterRegion),
+		/* 1 */ {Op: vm.OpJz, A: vm.R0, Imm: 4},
+		/* 2 */ sys(vm.SysLeaveRegion),
+		/* 3 */ {Op: vm.OpNop}, // branch arm continues past the Leave
+		/* 4 */ {Op: vm.OpHalt},
+	}
+	a := Analyze(oneFunc("f", code))
+	rec := NewRecorder()
+	rec.RegionEnter(0)
+	rec.TaintedBranch(1)
+	rec.RegionLeave(2)
+
+	fs := CrossCheck(a, rec)
+	var escape *Finding
+	for i := range fs {
+		if fs[i].Kind == RegionEscape {
+			escape = &fs[i]
+		}
+	}
+	if escape == nil {
+		t.Fatalf("no region-escape finding in %v", fs)
+	}
+	if escape.PC != 1 || !strings.Contains(escape.Msg, "past the enclosure") {
+		t.Fatalf("escape finding = %+v", escape)
+	}
+}
+
+func TestCrossCheckClean(t *testing.T) {
+	// The same shape, properly bracketed: branch, join, then Leave.
+	code := []vm.Instr{
+		/* 0 */ sys(vm.SysEnterRegion),
+		/* 1 */ {Op: vm.OpJz, A: vm.R0, Imm: 3},
+		/* 2 */ {Op: vm.OpNop},
+		/* 3 */ sys(vm.SysLeaveRegion),
+		/* 4 */ {Op: vm.OpHalt},
+	}
+	a := Analyze(oneFunc("f", code))
+	rec := NewRecorder()
+	rec.RegionEnter(0)
+	rec.TaintedBranch(1)
+	rec.RegionLeave(3)
+	if fs := CrossCheck(a, rec); len(fs) != 0 {
+		t.Fatalf("clean program produced findings: %v", fs)
+	}
+	if !rec.Observed() {
+		t.Fatal("recorder should report observations")
+	}
+	rec.Reset()
+	if rec.Observed() {
+		t.Fatal("reset recorder still reports observations")
+	}
+}

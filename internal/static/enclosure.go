@@ -1,0 +1,78 @@
+package static
+
+import "flowcheck/internal/vm"
+
+// Span is one statically matched enclosure annotation: the instruction
+// range between a SysEnterRegion and its SysLeaveRegion. The MiniC
+// compiler emits enclose blocks structurally, so within a function the
+// Enter/Leave syscalls are properly nested and a linear stack scan in
+// code order recovers the pairing exactly.
+type Span struct {
+	Enter, Leave int // pcs of the paired syscalls
+	Func         string
+	Depth        int // nesting depth, 0 for outermost
+	// Balanced is false when an Enter had no matching Leave in its
+	// function (or vice versa); such spans extend to the function end and
+	// are reported as lint findings.
+	Balanced bool
+}
+
+// Contains reports whether pc lies inside the span (inclusive of the
+// Enter and Leave instructions themselves).
+func (s Span) Contains(pc int) bool { return pc >= s.Enter && pc <= s.Leave }
+
+// findSpans scans each function for enclosure syscalls and pairs them.
+func findSpans(p *vm.Program, cfgs []*FuncCFG) []Span {
+	var spans []Span
+	for _, c := range cfgs {
+		var stack []int
+		for pc := c.Entry; pc < c.End; pc++ {
+			in := &p.Code[pc]
+			if in.Op != vm.OpSys {
+				continue
+			}
+			switch int(in.Imm) {
+			case vm.SysEnterRegion:
+				stack = append(stack, pc)
+			case vm.SysLeaveRegion:
+				if len(stack) == 0 {
+					// Leave with no Enter: degenerate span at the Leave.
+					spans = append(spans, Span{Enter: pc, Leave: pc, Func: c.Name})
+					continue
+				}
+				enter := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				spans = append(spans, Span{
+					Enter: enter, Leave: pc, Func: c.Name,
+					Depth: len(stack), Balanced: true,
+				})
+			}
+		}
+		for i, enter := range stack {
+			// Enter with no Leave: extend to the function end.
+			spans = append(spans, Span{Enter: enter, Leave: c.End - 1, Func: c.Name, Depth: i})
+		}
+	}
+	// Restore program order by Enter pc (the stack pops inner spans first).
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j-1].Enter > spans[j].Enter; j-- {
+			spans[j-1], spans[j] = spans[j], spans[j-1]
+		}
+	}
+	return spans
+}
+
+// spanAt returns the innermost balanced span containing pc, or nil.
+// Functions are emitted contiguously, so a span can only contain pcs of
+// its own function and the innermost match is the one with the largest
+// Enter.
+func spanAt(spans []Span, pc int) *Span {
+	var best *Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Balanced && s.Contains(pc) && (best == nil || s.Enter > best.Enter) {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+package static
+
+import (
+	"sort"
+
+	"flowcheck/internal/vm"
+)
+
+// Region is the inferred enclosure extent of one conditional (or
+// indirect) branch: every instruction whose execution is control-
+// dependent on the branch, i.e. reachable from a branch successor
+// without passing through the branch's immediate postdominator, plus the
+// branch itself. When the branch has no postdominator inside its
+// function (a path that never reaches the exit, e.g. an infinite loop on
+// one arm), the region conservatively extends over everything the branch
+// can reach.
+type Region struct {
+	Branch   int // pc of the controlling branch
+	PostDom  int // pc of the immediate postdominator, or -1
+	Func     string
+	Indirect bool // region of a JmpInd rather than a Jz/Jnz
+
+	pcs bitset // covered instruction indices (program-wide numbering)
+}
+
+// Covers reports whether pc falls inside the region.
+func (r *Region) Covers(pc int) bool { return r.pcs.has(pc) }
+
+// Size returns the number of instructions in the region.
+func (r *Region) Size() int { return r.pcs.count() }
+
+// Stats summarizes one static analysis pass for reporting.
+type Stats struct {
+	Funcs      int
+	Blocks     int
+	Branches   int // conditional + indirect branches analyzed
+	Regions    int // inferred regions (== Branches)
+	Enclosures int // static SysEnterRegion/SysLeaveRegion spans found
+}
+
+// Analysis is the result of the static pass over one program.
+type Analysis struct {
+	Prog    *vm.Program
+	CFGs    []*FuncCFG
+	Regions []*Region
+	// Spans are the statically matched enclosure annotations, in
+	// program order of their Enter pc.
+	Spans []Span
+	Stats Stats
+
+	covered bitset // union of all region pc sets
+}
+
+// Covered reports whether any inferred region contains pc.
+func (a *Analysis) Covered(pc int) bool { return a.covered.has(pc) }
+
+// RegionsAt returns the regions containing pc, innermost (smallest)
+// first.
+func (a *Analysis) RegionsAt(pc int) []*Region {
+	var rs []*Region
+	for _, r := range a.Regions {
+		if r.Covers(pc) {
+			rs = append(rs, r)
+		}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Size() < rs[j].Size() })
+	return rs
+}
+
+// Analyze runs the full static pass: CFG construction, postdominators,
+// region inference, and enclosure-span matching.
+func Analyze(p *vm.Program) *Analysis {
+	a := &Analysis{Prog: p, CFGs: BuildCFG(p), covered: newBitset(len(p.Code))}
+	for _, c := range a.CFGs {
+		a.Stats.Funcs++
+		a.Stats.Blocks += len(c.Blocks) - 1 // exclude the virtual exit
+		ipdom := Postdominators(c)
+		for _, b := range c.Blocks[:c.Exit] {
+			last := &p.Code[b.End-1]
+			var indirect bool
+			switch last.Op {
+			case vm.OpJz, vm.OpJnz:
+			case vm.OpJmpInd:
+				indirect = true
+			default:
+				continue
+			}
+			a.Stats.Branches++
+			r := inferRegion(p, c, ipdom, b, indirect)
+			a.Regions = append(a.Regions, r)
+			a.covered.or(r.pcs)
+		}
+	}
+	a.Spans = findSpans(p, a.CFGs)
+	a.Stats.Regions = len(a.Regions)
+	a.Stats.Enclosures = len(a.Spans)
+	return a
+}
+
+// inferRegion computes the control-dependence region of the branch
+// terminating block b: blocks reachable from b's successors without
+// passing through b's immediate postdominator.
+func inferRegion(p *vm.Program, c *FuncCFG, ipdom []int, b *Block, indirect bool) *Region {
+	r := &Region{
+		Branch:   b.End - 1,
+		PostDom:  -1,
+		Func:     c.Name,
+		Indirect: indirect,
+		pcs:      newBitset(len(p.Code)),
+	}
+	stop := ipdom[b.ID]
+	if stop >= 0 && stop != c.Exit {
+		r.PostDom = c.Blocks[stop].Start
+	}
+	seen := make([]bool, len(c.Blocks))
+	if stop >= 0 {
+		seen[stop] = true // barrier: do not cross the postdominator
+	}
+	stack := make([]int, 0, len(c.Blocks))
+	for _, s := range b.Succs {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blk := c.Blocks[v]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			r.pcs.set(pc)
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	r.pcs.set(r.Branch)
+	return r
+}
+
+// bitset is a fixed-size bit vector over instruction indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) {
+	if i >= 0 && i/64 < len(b) {
+		b[i/64] |= 1 << (uint(i) % 64)
+	}
+}
+
+func (b bitset) has(i int) bool {
+	return i >= 0 && i/64 < len(b) && b[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		if i < len(o) {
+			b[i] |= o[i]
+		}
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

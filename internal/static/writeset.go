@@ -1,0 +1,195 @@
+package static
+
+import "flowcheck/internal/vm"
+
+// Write-set analysis: classify every store in a code range the way the
+// paper's §8.6 pilot classifies enclosure outputs (Figure 6). A store
+// whose address is a compile-time constant is a global write and a store
+// at a constant frame-pointer offset is a local-variable write — both are
+// "found" outputs the pilot analysis could emit directly. A store whose
+// address the analysis cannot resolve (pointer arithmetic on runtime
+// values, array indexing by a loop variable) is the bytecode analogue of
+// the pilot's "expansion" outputs: the enclosure must declare a larger
+// enclosing object. Calls out of the range correspond to the
+// "interprocedural" rows — outputs written by a callee.
+//
+// The classification is a per-block constant propagation over three
+// abstract values: unknown (⊤), an exact constant, and a constant offset
+// from the frame pointer. Blocks start from scratch (BP = frame+0,
+// everything else unknown) because the MiniC compiler establishes BP in
+// the prologue and never modifies it mid-body, so the frame-relative
+// lattice stays valid without a join across edges; any cross-block
+// address computation simply degrades to unknown, which is the
+// conservative direction.
+
+// WriteKind classifies one store instruction.
+type WriteKind int
+
+const (
+	WriteGlobal  WriteKind = iota // constant data address
+	WriteFrame                    // constant frame-pointer offset
+	WriteDynamic                  // address not statically resolvable
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case WriteGlobal:
+		return "global"
+	case WriteFrame:
+		return "frame"
+	case WriteDynamic:
+		return "dynamic"
+	}
+	return "?"
+}
+
+// WriteCounts aggregates a range's stores per kind, plus the calls that
+// leave the range (Figure 6's interprocedural outputs).
+type WriteCounts struct {
+	Global  int
+	Frame   int
+	Dynamic int
+	Calls   int
+}
+
+// Found returns the directly-classified store count (Figure 6 "found").
+func (w WriteCounts) Found() int { return w.Global + w.Frame }
+
+// abstract value lattice: ⊤, Const(c), or BP+off.
+type absKind uint8
+
+const (
+	absTop absKind = iota
+	absConst
+	absBP
+)
+
+type absVal struct {
+	kind absKind
+	off  int64 // constant value or BP offset
+}
+
+var top = absVal{kind: absTop}
+
+// ClassifyWrites runs the store classification over every CFG and
+// returns the kind of each store instruction, indexed by pc (stores
+// only; other pcs are absent).
+func ClassifyWrites(p *vm.Program, cfgs []*FuncCFG) map[int]WriteKind {
+	kinds := make(map[int]WriteKind)
+	for _, c := range cfgs {
+		for _, b := range c.Blocks[:c.Exit] {
+			classifyBlock(p, b, kinds)
+		}
+	}
+	return kinds
+}
+
+func classifyBlock(p *vm.Program, b *Block, kinds map[int]WriteKind) {
+	var regs [vm.NumRegs]absVal
+	for i := range regs {
+		regs[i] = top
+	}
+	regs[vm.BP] = absVal{kind: absBP}
+
+	// The compiler routes operands through push/pop pairs (evaluate
+	// address, push, evaluate value, pop address back), so an abstract
+	// operand stack is needed to see frame addresses at all. A pop past
+	// the values pushed in this block yields ⊤; call/ret leave SP
+	// balanced, so pushed values survive a call (though registers do not).
+	var stk []absVal
+
+	for pc := b.Start; pc < b.End; pc++ {
+		in := &p.Code[pc]
+		switch in.Op {
+		case vm.OpConst:
+			regs[in.A] = absVal{kind: absConst, off: int64(in.Imm)}
+		case vm.OpMov:
+			regs[in.A] = regs[in.B]
+		case vm.OpAdd:
+			regs[in.A] = absAdd(regs[in.B], regs[in.C])
+		case vm.OpSub:
+			regs[in.A] = absSub(regs[in.B], regs[in.C])
+		case vm.OpPush:
+			stk = append(stk, regs[in.B])
+		case vm.OpPop:
+			if n := len(stk); n > 0 {
+				regs[in.A] = stk[n-1]
+				stk = stk[:n-1]
+			} else {
+				regs[in.A] = top
+			}
+		case vm.OpStore:
+			addr := absAdd(regs[in.A], absVal{kind: absConst, off: int64(in.Imm)})
+			switch addr.kind {
+			case absConst:
+				kinds[pc] = WriteGlobal
+			case absBP:
+				kinds[pc] = WriteFrame
+			default:
+				kinds[pc] = WriteDynamic
+			}
+		case vm.OpLoad:
+			regs[in.A] = top
+		case vm.OpCall, vm.OpCallInd:
+			// Callee clobbers scratch registers; MiniC's convention
+			// preserves SP/BP (and the words already pushed) across calls.
+			for r := 0; r < vm.SP; r++ {
+				regs[r] = top
+			}
+		case vm.OpSys, vm.OpJmp, vm.OpJz, vm.OpJnz,
+			vm.OpJmpInd, vm.OpRet, vm.OpHalt, vm.OpNop:
+			// No register results (OpSys writes R0).
+			if in.Op == vm.OpSys {
+				regs[vm.R0] = top
+			}
+		default:
+			// Remaining ALU/compare/byte ops produce unknown values.
+			regs[in.A] = top
+		}
+	}
+}
+
+func absAdd(a, b absVal) absVal {
+	switch {
+	case a.kind == absConst && b.kind == absConst:
+		return absVal{kind: absConst, off: a.off + b.off}
+	case a.kind == absBP && b.kind == absConst:
+		return absVal{kind: absBP, off: a.off + b.off}
+	case a.kind == absConst && b.kind == absBP:
+		return absVal{kind: absBP, off: a.off + b.off}
+	}
+	return top
+}
+
+func absSub(a, b absVal) absVal {
+	switch {
+	case a.kind == absConst && b.kind == absConst:
+		return absVal{kind: absConst, off: a.off - b.off}
+	case a.kind == absBP && b.kind == absConst:
+		return absVal{kind: absBP, off: a.off - b.off}
+	}
+	return top
+}
+
+// CountWrites tallies the classified stores and calls within the
+// instruction range [start, end].
+func CountWrites(p *vm.Program, kinds map[int]WriteKind, start, end int) WriteCounts {
+	var w WriteCounts
+	for pc := start; pc <= end && pc < len(p.Code); pc++ {
+		if k, ok := kinds[pc]; ok {
+			switch k {
+			case WriteGlobal:
+				w.Global++
+			case WriteFrame:
+				w.Frame++
+			case WriteDynamic:
+				w.Dynamic++
+			}
+		}
+		switch p.Code[pc].Op {
+		case vm.OpCall, vm.OpCallInd:
+			w.Calls++
+		}
+	}
+	return w
+}

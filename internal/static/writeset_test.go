@@ -1,0 +1,80 @@
+package static
+
+import (
+	"testing"
+
+	"flowcheck/internal/vm"
+)
+
+func TestClassifyWrites(t *testing.T) {
+	// One block exercising all three store classes, including the
+	// compiler's push/pop address shuffle.
+	code := []vm.Instr{
+		/* 0 */ {Op: vm.OpConst, A: vm.R0, Imm: 4096},
+		/* 1 */ {Op: vm.OpStore, A: vm.R0, B: vm.R1, W: 4}, // constant data address: global
+		/* 2 */ {Op: vm.OpConst, A: vm.R1, Imm: -8},
+		/* 3 */ {Op: vm.OpAdd, A: vm.R0, B: vm.BP, C: vm.R1},
+		/* 4 */ {Op: vm.OpStore, A: vm.R0, B: vm.R2, W: 4}, // BP-8: frame
+		/* 5 */ {Op: vm.OpPush, B: vm.R0},
+		/* 6 */ {Op: vm.OpConst, A: vm.R0, Imm: 7},
+		/* 7 */ {Op: vm.OpPop, A: vm.R1},
+		/* 8 */ {Op: vm.OpStore, A: vm.R1, B: vm.R0, W: 1}, // frame address via push/pop
+		/* 9 */ {Op: vm.OpLoad, A: vm.R2, B: vm.R0, W: 4},
+		/* 10 */ {Op: vm.OpStore, A: vm.R2, B: vm.R0, W: 4}, // loaded pointer: dynamic
+		/* 11 */ {Op: vm.OpStore, A: vm.BP, B: vm.R0, Imm: -4, W: 4}, // BP+disp: frame
+		/* 12 */ {Op: vm.OpHalt},
+	}
+	p := oneFunc("f", code)
+	kinds := ClassifyWrites(p, BuildCFG(p))
+	want := map[int]WriteKind{
+		1:  WriteGlobal,
+		4:  WriteFrame,
+		8:  WriteFrame,
+		10: WriteDynamic,
+		11: WriteFrame,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("classified %d stores, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for pc, k := range want {
+		if kinds[pc] != k {
+			t.Errorf("pc %d: classified %v, want %v", pc, kinds[pc], k)
+		}
+	}
+
+	w := CountWrites(p, kinds, 0, len(code)-1)
+	if w.Global != 1 || w.Frame != 3 || w.Dynamic != 1 || w.Calls != 0 {
+		t.Fatalf("counts = %+v, want global=1 frame=3 dynamic=1 calls=0", w)
+	}
+	if w.Found() != 4 {
+		t.Fatalf("Found() = %d, want 4", w.Found())
+	}
+}
+
+// A call clobbers the scratch registers (the callee's writes are the
+// interprocedural column), but values parked on the stack survive it.
+func TestClassifyWritesAcrossCall(t *testing.T) {
+	code := []vm.Instr{
+		/* 0 */ {Op: vm.OpConst, A: vm.R1, Imm: -4},
+		/* 1 */ {Op: vm.OpAdd, A: vm.R0, B: vm.BP, C: vm.R1},
+		/* 2 */ {Op: vm.OpPush, B: vm.R0},
+		/* 3 */ {Op: vm.OpCall, Imm: 8},
+		/* 4 */ {Op: vm.OpStore, A: vm.R0, B: vm.R1, W: 4}, // R0 clobbered by callee: dynamic
+		/* 5 */ {Op: vm.OpPop, A: vm.R2},
+		/* 6 */ {Op: vm.OpStore, A: vm.R2, B: vm.R1, W: 4}, // stack slot survived: frame
+		/* 7 */ {Op: vm.OpHalt},
+		/* 8 */ {Op: vm.OpRet}, // callee
+	}
+	p := oneFunc("f", code)
+	kinds := ClassifyWrites(p, BuildCFG(p))
+	if kinds[4] != WriteDynamic {
+		t.Errorf("store after call through clobbered register: %v, want dynamic", kinds[4])
+	}
+	if kinds[6] != WriteFrame {
+		t.Errorf("store through call-surviving stack slot: %v, want frame", kinds[6])
+	}
+	w := CountWrites(p, kinds, 0, 7)
+	if w.Calls != 1 {
+		t.Fatalf("calls = %d, want 1", w.Calls)
+	}
+}

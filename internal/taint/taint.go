@@ -61,6 +61,23 @@ type StreamRange struct {
 	Off, Len int
 }
 
+// Probe observes the dynamic control-flow facts the static cross-checker
+// (internal/static) validates against: tainted conditional branches,
+// tainted indirect control transfers, and enclosure-region brackets. All
+// PCs are instruction indices into the running program. A probe is
+// per-run state: Reset detaches it, so the engine re-installs one before
+// each execution it wants observed.
+type Probe interface {
+	// TaintedBranch reports a conditional branch on a secret condition.
+	TaintedBranch(pc int)
+	// TaintedIndirect reports an indirect jump (or return) through a
+	// secret target.
+	TaintedIndirect(pc int)
+	// RegionEnter and RegionLeave bracket a dynamic enclosure region.
+	RegionEnter(pc int)
+	RegionLeave(pc int)
+}
+
 // Warning is a diagnostic produced during tracking.
 type Warning struct {
 	Site string
@@ -137,6 +154,7 @@ type Tracker struct {
 	warnings  []Warning
 	snapshots []Snapshot
 	stats     Stats
+	probe     Probe
 
 	// secPos tracks the secret stream offset for SecretRanges filtering.
 	secPos int
@@ -179,7 +197,12 @@ func (t *Tracker) Reset() {
 	t.ctxStack = t.ctxStack[:0]
 	t.secPos = 0
 	t.m = nil
+	t.probe = nil
 }
+
+// SetProbe installs (or, with nil, detaches) a dynamic-event observer for
+// the next execution. Reset and ResetAll detach it.
+func (t *Tracker) SetProbe(p Probe) { t.probe = p }
 
 // ResetAll reinitializes the tracker for an unrelated execution, discarding
 // the accumulated graph, canonical elements, and diagnostics — unlike
@@ -466,6 +489,9 @@ func (t *Tracker) pointerImplicit(site uint32, raddr int) {
 // one bit into the enclosure.
 func (t *Tracker) Branch(site uint32, rc int, taken bool) {
 	if t.regMask[rc] != 0 {
+		if t.probe != nil {
+			t.probe.TaintedBranch(t.m.PC)
+		}
 		t.implicit(site, t.regEl[rc], 1)
 	}
 }
@@ -473,6 +499,9 @@ func (t *Tracker) Branch(site uint32, rc int, taken bool) {
 // JmpInd implements vm.Tracer: an indirect jump through a secret register
 // leaks as many bits as are secret in the target.
 func (t *Tracker) JmpInd(site uint32, raddr int, target vm.Word) {
+	if t.regMask[raddr] != 0 && t.probe != nil {
+		t.probe.TaintedIndirect(t.m.PC)
+	}
 	t.pointerImplicit(site, raddr)
 }
 
@@ -497,6 +526,9 @@ func (t *Tracker) Ret(site uint32) {
 		}
 	}
 	if el != 0 && capBits > 0 {
+		if t.probe != nil {
+			t.probe.TaintedIndirect(t.m.PC)
+		}
 		t.warnf(site, "return through tainted address (%d secret bits)", capBits)
 		t.implicit(site, el, capBits)
 	}
@@ -662,6 +694,9 @@ func (t *Tracker) Declassify(site uint32, addr, length vm.Word) {
 // EnterRegion implements vm.Tracer.
 func (t *Tracker) EnterRegion(site uint32, outputs []vm.Range) {
 	t.stats.RegionsEntered++
+	if t.probe != nil {
+		t.probe.RegionEnter(t.m.PC)
+	}
 	lbl := t.label(flowgraph.KindRegion, 99)
 	var el int32
 	if t.opts.Exact {
@@ -754,6 +789,9 @@ func (t *Tracker) regionWrite(addr vm.Word, n int) {
 // is retagged with a fresh value fed by both its old value and the region
 // node.
 func (t *Tracker) LeaveRegion(site uint32) {
+	if t.probe != nil {
+		t.probe.RegionLeave(t.m.PC)
+	}
 	if len(t.regions) == 0 {
 		t.warnf(site, "LEAVE_ENCLOSE without matching enter")
 		return

@@ -162,6 +162,16 @@ type SiteInfo struct {
 	Fn   string
 }
 
+// FuncInfo records the instruction extent of one compiled function. The
+// compiler emits functions contiguously, so [Entry, End) is exactly the
+// function's code; the static analyzer uses these extents to build
+// per-function CFGs, and diagnostics use them to name a raw PC.
+type FuncInfo struct {
+	Name  string
+	Entry int // first instruction index
+	End   int // one past the last instruction index
+}
+
 // Range is a byte range of guest memory, used for enclosure-region output
 // descriptors and secrecy marking.
 type Range struct {
@@ -176,6 +186,10 @@ type Program struct {
 	Entry int    // starting instruction index
 	// Sites maps site ids to source locations; index 0 is "unknown".
 	Sites []SiteInfo
+	// Funcs lists compiled function extents in ascending Entry order
+	// (including the synthesized __start). Nil for hand-assembled
+	// programs, which then get no per-function static analysis.
+	Funcs []FuncInfo
 	// Globals maps global symbol names to their data-segment addresses,
 	// for tests and debugging.
 	Globals map[string]Word
@@ -190,4 +204,39 @@ func (p *Program) SiteString(site uint32) string {
 		}
 	}
 	return fmt.Sprintf("site%d", site)
+}
+
+// FuncAt returns the function containing instruction index pc, or nil if
+// pc is out of range or the program has no function table.
+func (p *Program) FuncAt(pc int) *FuncInfo {
+	lo, hi := 0, len(p.Funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		f := &p.Funcs[mid]
+		switch {
+		case pc < f.Entry:
+			hi = mid
+		case pc >= f.End:
+			lo = mid + 1
+		default:
+			return f
+		}
+	}
+	return nil
+}
+
+// LocString names an instruction index for diagnostics: the per-instruction
+// source location (file:line and function) when the program carries one,
+// falling back to the raw PC.
+func (p *Program) LocString(pc int) string {
+	if pc < 0 || pc >= len(p.Code) {
+		return fmt.Sprintf("pc=%d", pc)
+	}
+	if site := p.Code[pc].Site; int(site) < len(p.Sites) && p.Sites[site].File != "" {
+		return fmt.Sprintf("%s @pc=%d", p.SiteString(site), pc)
+	}
+	if f := p.FuncAt(pc); f != nil {
+		return fmt.Sprintf("%s+%d @pc=%d", f.Name, pc-f.Entry, pc)
+	}
+	return fmt.Sprintf("pc=%d", pc)
 }
