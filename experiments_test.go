@@ -287,3 +287,19 @@ func TestE2Figure3Incompressible(t *testing.T) {
 		}
 	}
 }
+
+// E18 — online compaction (§5.1/§5.2): exact-mode compress with
+// Config.Compact holds peak live edges at least 5x below the edges
+// emitted, without moving the bound (Compaction panics on any deviation
+// from the uncompacted run).
+func TestE18Compaction(t *testing.T) {
+	for _, p := range experiments.Compaction([]int{256, 1024}) {
+		if p.CompactionPasses == 0 {
+			t.Errorf("n=%d: no compaction passes ran", p.InputBytes)
+		}
+		if p.Ratio < 5 {
+			t.Errorf("n=%d: total/peak edge ratio %.1f, want >= 5 (total %d, peak %d)",
+				p.InputBytes, p.Ratio, p.TotalEdges, p.PeakLiveEdges)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 
 	"flowcheck/internal/engine"
+	"flowcheck/internal/flowgraph"
 	"flowcheck/internal/static"
 	"flowcheck/internal/vm"
 )
@@ -54,6 +55,9 @@ type (
 	CancelError = engine.CancelError
 	// InternalError is a recovered pipeline-stage panic.
 	InternalError = engine.InternalError
+	// MemStats reports the graph core's memory and online-compaction
+	// behavior (Config.Compact), surfaced as Result.Mem.
+	MemStats = flowgraph.MemStats
 	// Finding is one static/dynamic cross-check violation (Config.Lint).
 	Finding = static.Finding
 	// StaticStats summarizes the static pre-pass behind Config.Lint.

@@ -1,0 +1,38 @@
+package engine_test
+
+// allocs_test.go pins the allocation behavior of the engine's batch path.
+// Pooled sessions mean a warmed Analyzer re-running the same batch should
+// allocate only per-run result assembly — not fresh graphs, solver
+// networks, or queues. The ceiling is ~2x the measured steady state, so it
+// catches a regression that reintroduces per-run rebuilding of any large
+// structure without flaking on allocator noise.
+
+import (
+	"testing"
+
+	"flowcheck/internal/engine"
+	"flowcheck/internal/guest"
+)
+
+func TestBatchAllocsSteadyState(t *testing.T) {
+	prog := guest.Program("unary")
+	inputs := unaryInputs(5, 50, 120, 200)
+	a := engine.New(prog, engine.Config{Workers: 1})
+
+	// Warm the pooled session (guest memory, tracker, solver buffers).
+	if _, err := a.AnalyzeBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := a.AnalyzeBatch(inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("batch of %d runs: %.0f allocs/op", len(inputs), avg)
+
+	const ceiling = 1500 // steady state measures ~660 for this batch
+	if avg > ceiling {
+		t.Fatalf("batch path allocates %.0f/op, ceiling %d — a pooled buffer regressed to per-run allocation", avg, ceiling)
+	}
+}

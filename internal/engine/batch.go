@@ -160,7 +160,13 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 			continue
 		}
 		if a.cfg.Taint.Exact {
-			merge.SaltLabels(r.Graph, uint64(i+1))
+			if serr := merge.SaltLabels(r.Graph, uint64(i+1)); serr != nil {
+				// An unsaltable graph cannot join the merge without risking
+				// label collisions; treat it like any other failed run.
+				perErr[i] = serr
+				failures = append(failures, fmt.Errorf("run %d: %w", i, serr))
+				continue
+			}
 		}
 		graphs = append(graphs, r.Graph)
 	}
@@ -220,6 +226,7 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 			res.StaticStats = r.StaticStats
 		}
 		addStats(&res.Stats, r.Stats)
+		addMem(&res.Mem, r.Mem)
 		agg.add(r.Stages)
 		// Execution facts mirror AnalyzeMulti: the last surviving run's.
 		res.Output = r.Output
@@ -253,7 +260,7 @@ func (a *Analyzer) AnalyzeClassesContext(ctx context.Context, in Inputs, classes
 	out := make([]ClassResult, len(classes))
 	a.fanOut(len(classes), func(s *session, i int) error {
 		c := classes[i]
-		opts := a.cfg.Taint
+		opts := a.taintOptions()
 		opts.SecretRanges = []taint.StreamRange{{Off: c.Off, Len: c.Len}}
 		res, err := a.runStages(ctx, s, taint.New(opts), in, a.cfg.Fault.Run(i))
 		if err != nil {
@@ -296,6 +303,33 @@ func mergeFindings(dst, src []static.Finding) []static.Finding {
 		return dst[i].Kind < dst[j].Kind
 	})
 	return dst
+}
+
+// addMem folds one run's memory stats into a multi-run aggregate: peak and
+// live sizes take the maximum across runs (workers run concurrently, each
+// with its own arena), while emission and compaction counters sum.
+func addMem(dst *flowgraph.MemStats, m flowgraph.MemStats) {
+	if m.LiveNodes > dst.LiveNodes {
+		dst.LiveNodes = m.LiveNodes
+	}
+	if m.LiveEdges > dst.LiveEdges {
+		dst.LiveEdges = m.LiveEdges
+	}
+	if m.PeakLiveNodes > dst.PeakLiveNodes {
+		dst.PeakLiveNodes = m.PeakLiveNodes
+	}
+	if m.PeakLiveEdges > dst.PeakLiveEdges {
+		dst.PeakLiveEdges = m.PeakLiveEdges
+	}
+	dst.TotalNodes += m.TotalNodes
+	dst.TotalEdges += m.TotalEdges
+	dst.CompactionPasses += m.CompactionPasses
+	dst.ReclaimedEdges += m.ReclaimedEdges
+	dst.ReclaimedNodes += m.ReclaimedNodes
+	dst.RecycledSlots += m.RecycledSlots
+	dst.SeriesOps += m.SeriesOps
+	dst.ParallelOps += m.ParallelOps
+	dst.DeadEnds += m.DeadEnds
 }
 
 func addStats(dst *taint.Stats, s taint.Stats) {

@@ -55,6 +55,13 @@ type Config struct {
 	// Workers bounds the fan-out of AnalyzeBatch and AnalyzeClasses;
 	// 0 means GOMAXPROCS. Single-run analysis ignores it.
 	Workers int
+	// Compact sets the online-compaction epoch threshold for exact-mode
+	// trackers (taint.Options.Compact): when the live edge count grows past
+	// the threshold, the engine's periodic check hook runs an in-place
+	// series-parallel compaction pass over the part of the graph the
+	// execution can no longer reach. Zero disables compaction. Ignored in
+	// collapsed mode. Result.Mem reports the effect.
+	Compact int
 	// Budget bounds per-run resources (graph size, output bytes, solver
 	// work); the zero value is unlimited. See Budget for which limits fail
 	// a run and which degrade it.
@@ -362,6 +369,7 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 		Warnings:          tr.Warnings(),
 		Snapshots:         tr.Snapshots(),
 		Stats:             tr.Stats(),
+		Mem:               tr.MemStats(),
 		Lint:              lint,
 		StaticStats:       staticStats,
 		prog:              a.prog,
@@ -389,7 +397,24 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, in Inputs) (*Result, erro
 }
 
 func (a *Analyzer) sessionTracker(s *session) *taint.Tracker {
-	return s.freshTracker(a.cfg.Taint)
+	return s.freshTracker(a.taintOptions())
+}
+
+// taintOptions resolves the tracker options from the configuration,
+// plumbing the engine-level Compact knob through to the tracker.
+func (a *Analyzer) taintOptions() taint.Options {
+	opts := a.cfg.Taint
+	if a.cfg.Compact != 0 {
+		opts.Compact = a.cfg.Compact
+	}
+	return opts
+}
+
+// compacting reports whether runs will perform online compaction (which
+// requires the periodic check hook to be installed).
+func (a *Analyzer) compacting() bool {
+	opts := a.taintOptions()
+	return opts.Exact && opts.Compact > 0
 }
 
 // AnalyzeMulti analyzes several executions together on one session: the

@@ -47,6 +47,11 @@ type Result struct {
 	Snapshots []taint.Snapshot
 	Stats     taint.Stats
 
+	// Mem reports the graph core's memory behavior: peak live nodes/edges,
+	// totals emitted, and online-compaction activity (Config.Compact). For
+	// multi-run results, peaks are the maximum across runs and counters sum.
+	Mem flowgraph.MemStats
+
 	// Lint holds the static/dynamic cross-check findings when Config.Lint
 	// is set (internal/static): empty means the run's tainted branches and
 	// enclosure intervals all validated against the inferred regions.

@@ -1,0 +1,557 @@
+package flowgraph
+
+import "fmt"
+
+// Arena is the mutable graph core behind flow-graph construction: a slab of
+// edge slots with per-node degree tracking, a free list for reclaimed
+// slots, and in-place series-parallel contraction (CompactSP). It exists so
+// the §5.2 property — tool memory proportional to static code size, not to
+// executed instructions — holds while the guest is still running: the taint
+// builder emits every dynamic edge into an arena and periodically compacts
+// the part of the graph the execution can no longer reach, instead of
+// materializing the full per-operation graph and shrinking it afterwards.
+//
+// Node 0 and node 1 are pre-allocated and permanently correspond to the
+// graph Source and Sink; they are never contracted. Edge slots killed by
+// compaction return to the free list and are reused by later AddEdge calls,
+// so the slot array's length tracks the peak live size rather than the
+// total emitted count.
+//
+// An Arena is not safe for concurrent use; each tracker owns one.
+type Arena struct {
+	edges  []arenaEdge
+	free   []int32 // dead slots available for reuse
+	indeg  []int32
+	outdeg []int32
+	dead   []bool
+
+	liveNodes int
+	liveEdges int
+	mem       MemStats
+
+	// Compaction scratch, allocated on first CompactSP and reused across
+	// passes. The stamp arrays make per-sweep state O(1) to reset: an entry
+	// is meaningful only when its stamp equals the current sweep generation.
+	gen        uint32
+	uniqueIn   []int32 // sole in-edge slot of a node, -1 if several
+	uniqueOut  []int32
+	stampIn    []uint32
+	stampOut   []uint32
+	dropFrom   []uint32 // gen-stamped: kill out-edges of this node (dead source side)
+	dropTo     []uint32 // gen-stamped: kill in-edges of this node (dead sink side)
+	parMap     map[int64]int32
+	pending    []int32 // slots killed this sweep; recycled at the next sweep
+	chainKills []int32
+}
+
+type arenaEdge struct {
+	from, to int32
+	cap      int64
+	label    Label
+	alive    bool
+}
+
+// MemStats reports the arena's memory behavior — the observable for the
+// paper's §5.2 scalability claim. With online compaction, PeakLiveEdges
+// should grow with static code size (plus the execution's live frontier)
+// while TotalEdges grows with executed instructions.
+type MemStats struct {
+	// Live sizes now, and their high-water marks.
+	LiveNodes, LiveEdges         int
+	PeakLiveNodes, PeakLiveEdges int
+
+	// Totals ever emitted into the arena.
+	TotalNodes, TotalEdges int
+
+	// Compaction activity: passes run, edges/nodes reclaimed by reductions,
+	// and reclaimed edge slots reused by later insertions.
+	CompactionPasses int
+	ReclaimedEdges   int
+	ReclaimedNodes   int
+	RecycledSlots    int
+
+	// Reduction operation counts (series contractions, parallel merges,
+	// dead-end eliminations), summed over all passes.
+	SeriesOps   int
+	ParallelOps int
+	DeadEnds    int
+}
+
+// NewArena returns an arena holding only the two terminal nodes.
+func NewArena() *Arena {
+	a := &Arena{}
+	a.AddNode() // Source
+	a.AddNode() // Sink
+	return a
+}
+
+// NumNodes reports the number of node ids ever allocated (dead included);
+// valid node ids are [0, NumNodes).
+func (a *Arena) NumNodes() int { return len(a.indeg) }
+
+// LiveNodes reports the nodes not reclaimed by compaction.
+func (a *Arena) LiveNodes() int { return a.liveNodes }
+
+// LiveEdges reports the edges currently alive.
+func (a *Arena) LiveEdges() int { return a.liveEdges }
+
+// Mem returns a snapshot of the arena's memory statistics.
+func (a *Arena) Mem() MemStats {
+	m := a.mem
+	m.LiveNodes = a.liveNodes
+	m.LiveEdges = a.liveEdges
+	return m
+}
+
+// InDegree and OutDegree report a node's live degree.
+func (a *Arena) InDegree(v int32) int32  { return a.indeg[v] }
+func (a *Arena) OutDegree(v int32) int32 { return a.outdeg[v] }
+
+// AddNode allocates a new node and returns its id.
+func (a *Arena) AddNode() int32 {
+	id := int32(len(a.indeg))
+	a.indeg = append(a.indeg, 0)
+	a.outdeg = append(a.outdeg, 0)
+	a.dead = append(a.dead, false)
+	a.liveNodes++
+	a.mem.TotalNodes++
+	if a.liveNodes > a.mem.PeakLiveNodes {
+		a.mem.PeakLiveNodes = a.liveNodes
+	}
+	return id
+}
+
+// AddEdge inserts an edge and returns its slot, reusing a reclaimed slot
+// when one is free. Slots are stable for the edge's lifetime: Accumulate
+// and EdgeEnds address the edge by slot until compaction kills it.
+func (a *Arena) AddEdge(from, to int32, cap int64, label Label) int32 {
+	if from < 0 || to < 0 || int(from) >= len(a.indeg) || int(to) >= len(a.indeg) {
+		panic(fmt.Sprintf("flowgraph: arena edge (%d,%d) outside node range [0,%d)", from, to, len(a.indeg)))
+	}
+	if cap < 0 {
+		panic(fmt.Sprintf("flowgraph: negative capacity %d", cap))
+	}
+	e := arenaEdge{from: from, to: to, cap: cap, label: label, alive: true}
+	var slot int32
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+		a.edges[slot] = e
+		a.mem.RecycledSlots++
+	} else {
+		slot = int32(len(a.edges))
+		a.edges = append(a.edges, e)
+	}
+	a.outdeg[from]++
+	a.indeg[to]++
+	a.liveEdges++
+	a.mem.TotalEdges++
+	if a.liveEdges > a.mem.PeakLiveEdges {
+		a.mem.PeakLiveEdges = a.liveEdges
+	}
+	return slot
+}
+
+// Accumulate adds cap to an edge's capacity, saturating at Inf — the
+// collapsed-mode label hit (§5.2).
+func (a *Arena) Accumulate(slot int32, cap int64) {
+	e := &a.edges[slot]
+	e.cap += cap
+	if e.cap > Inf {
+		e.cap = Inf
+	}
+}
+
+// EdgeEnds returns an edge's endpoints.
+func (a *Arena) EdgeEnds(slot int32) (from, to int32) {
+	e := &a.edges[slot]
+	return e.from, e.to
+}
+
+// kill removes an edge, crediting its slot to the pending list (recycled at
+// the next compaction sweep, once nothing references it).
+func (a *Arena) kill(slot int32) {
+	e := &a.edges[slot]
+	if !e.alive {
+		return
+	}
+	e.alive = false
+	a.outdeg[e.from]--
+	a.indeg[e.to]--
+	a.liveEdges--
+	a.mem.ReclaimedEdges++
+	a.pending = append(a.pending, slot)
+}
+
+// killNode marks a node reclaimed.
+func (a *Arena) killNode(v int32) {
+	if a.dead[v] {
+		return
+	}
+	a.dead[v] = true
+	a.liveNodes--
+	a.mem.ReclaimedNodes++
+}
+
+// ------------------------------------------------------------ compaction ---
+
+// CompactSP applies the series-parallel reductions of §5.1 in place until
+// fixpoint:
+//
+//   - parallel: edges sharing (from, to) merge, capacities summed
+//     (saturating at Inf)
+//   - series: an unprotected interior node with in-degree 1 and out-degree
+//     1 contracts, its edges replaced by one of the minimum capacity
+//   - dead ends: unprotected interior nodes with in- or out-degree 0 lose
+//     their edges (they can carry no s-t flow)
+//   - self-loops are dropped
+//
+// Every reduction preserves the Source-Sink maximum flow, so CompactSP may
+// run at any point during construction — provided protected[v] is true for
+// every node the builder may still attach edges to (the execution's live
+// frontier: shadow memory, registers, open regions, the output chain).
+// Unprotected nodes are exactly those the run can never reference again,
+// which is what makes eliminating them sound. protected may be nil (only
+// the terminals are protected) or shorter than NumNodes (missing entries
+// are unprotected); nodes 0 and 1 are always protected.
+func (a *Arena) CompactSP(protected []bool) {
+	a.mem.CompactionPasses++
+	n := len(a.indeg)
+	a.uniqueIn = growI32(a.uniqueIn, n)
+	a.uniqueOut = growI32(a.uniqueOut, n)
+	a.stampIn = growU32(a.stampIn, n)
+	a.stampOut = growU32(a.stampOut, n)
+	a.dropFrom = growU32(a.dropFrom, n)
+	a.dropTo = growU32(a.dropTo, n)
+	if a.parMap == nil {
+		a.parMap = make(map[int64]int32)
+	}
+	for a.sweep(protected) > 0 {
+	}
+	// The last sweep's kills are safe to recycle now: all per-sweep
+	// references into the slot array are dead with the sweep.
+	a.free = append(a.free, a.pending...)
+	a.pending = a.pending[:0]
+}
+
+func (a *Arena) prot(v int32, protected []bool) bool {
+	return int(v) < len(protected) && protected[v]
+}
+
+// sweep runs one pass of all reductions over the live edges and returns
+// the number of reduction operations performed. Each operation removes at
+// least one edge, so iterating sweeps terminates; reductions enabled by
+// this sweep's kills (cascading dead ends, chains revealed by parallel
+// merges) are picked up by the next sweep.
+func (a *Arena) sweep(protected []bool) int {
+	a.gen++
+	gen := a.gen
+	// Slots killed by the previous sweep are unreferenced once the unique-
+	// arc scratch is rebuilt below; recycle them.
+	a.free = append(a.free, a.pending...)
+	a.pending = a.pending[:0]
+
+	ops := 0
+
+	// Edge scan: drop self-loops, merge parallel edges (first slot wins, so
+	// edge order stays deterministic), and record each node's unique in/out
+	// arc for series detection.
+	clear(a.parMap)
+	for i := range a.edges {
+		e := &a.edges[i]
+		if !e.alive {
+			continue
+		}
+		slot := int32(i)
+		if e.from == e.to {
+			a.kill(slot)
+			ops++
+			continue
+		}
+		key := int64(e.from)<<32 | int64(e.to)
+		if first, ok := a.parMap[key]; ok {
+			f := &a.edges[first]
+			f.cap += e.cap
+			if f.cap > Inf {
+				f.cap = Inf
+			}
+			a.kill(slot)
+			a.mem.ParallelOps++
+			ops++
+			continue
+		}
+		a.parMap[key] = slot
+		if a.stampOut[e.from] == gen {
+			a.uniqueOut[e.from] = -1
+		} else {
+			a.stampOut[e.from] = gen
+			a.uniqueOut[e.from] = slot
+		}
+		if a.stampIn[e.to] == gen {
+			a.uniqueIn[e.to] = -1
+		} else {
+			a.stampIn[e.to] = gen
+			a.uniqueIn[e.to] = slot
+		}
+	}
+
+	// Dead-end marking: unprotected interior nodes that cannot carry s-t
+	// flow lose all their edges (edge-major kill below); isolated nodes are
+	// reclaimed outright.
+	n := int32(len(a.indeg))
+	drops := false
+	for v := int32(2); v < n; v++ {
+		if a.dead[v] || a.prot(v, protected) {
+			continue
+		}
+		switch {
+		case a.indeg[v] == 0 && a.outdeg[v] == 0:
+			a.killNode(v)
+		case a.outdeg[v] == 0:
+			a.dropTo[v] = gen
+			a.mem.DeadEnds++
+			drops = true
+		case a.indeg[v] == 0:
+			a.dropFrom[v] = gen
+			a.mem.DeadEnds++
+			drops = true
+		}
+	}
+	if drops {
+		for i := range a.edges {
+			e := &a.edges[i]
+			if e.alive && (a.dropTo[e.to] == gen || a.dropFrom[e.from] == gen) {
+				a.kill(int32(i))
+				ops++
+			}
+		}
+	}
+
+	// Series contraction, whole chains at a time: from each chain head
+	// (a candidate whose predecessor is not one), walk the run of
+	// candidate nodes, kill every traversed edge, and bridge the ends with
+	// one edge of the minimum capacity. Entering only at heads both avoids
+	// quadratic rescans and guarantees termination: a cycle made purely of
+	// candidates has no head, and any entry point into a cycle has
+	// in-degree 2 and is no candidate.
+	for v := int32(2); v < n; v++ {
+		if !a.chainCand(v, protected, gen) {
+			continue
+		}
+		ein := a.uniqueIn[v]
+		u := a.edges[ein].from
+		if a.chainCand(u, protected, gen) {
+			continue // interior of a chain; its head will consume it
+		}
+		capMin := a.edges[ein].cap
+		lbl := a.edges[ein].label
+		kills := append(a.chainKills[:0], ein)
+		cur := v
+		var w int32
+		for {
+			eout := a.uniqueOut[cur]
+			if a.edges[eout].cap < capMin {
+				capMin = a.edges[eout].cap
+			}
+			kills = append(kills, eout)
+			a.killNode(cur)
+			a.mem.SeriesOps++
+			ops++
+			w = a.edges[eout].to
+			if !a.chainCand(w, protected, gen) {
+				break
+			}
+			cur = w
+		}
+		for _, s := range kills {
+			a.kill(s)
+		}
+		a.chainKills = kills[:0]
+		if u != w { // u == w would be a self-loop: drop entirely
+			a.AddEdge(u, w, capMin, lbl)
+		}
+	}
+	return ops
+}
+
+// chainCand reports whether v is series-contractible right now: an
+// unprotected interior node with exactly one live in-edge and one live
+// out-edge, both still identified by this sweep's unique-arc scratch. A
+// node whose unique arc was killed or superseded mid-sweep fails the check
+// and is reconsidered by the next sweep.
+func (a *Arena) chainCand(v int32, protected []bool, gen uint32) bool {
+	if v < 2 || a.dead[v] || a.prot(v, protected) || a.indeg[v] != 1 || a.outdeg[v] != 1 {
+		return false
+	}
+	if a.stampIn[v] != gen || a.stampOut[v] != gen {
+		return false
+	}
+	in, out := a.uniqueIn[v], a.uniqueOut[v]
+	return in >= 0 && out >= 0 &&
+		a.edges[in].alive && a.edges[in].to == v &&
+		a.edges[out].alive && a.edges[out].from == v
+}
+
+// ---------------------------------------------------------------- export ---
+
+// Export materializes the arena's live edges as a Graph, renumbering nodes
+// by first appearance in slot order. resolve maps an arena node to its
+// representative (a union-find Find for collapsed construction); nil means
+// identity. Arena nodes resolving to the terminals become Source and Sink;
+// self-loops, edges out of the Sink, and edges into the Source are dropped,
+// and capacities clamp to Inf — reproducing the historical builder output
+// byte for byte when no compaction has run.
+func (a *Arena) Export(resolve func(int32) int32) *Graph {
+	out := New()
+	node := make([]NodeID, len(a.indeg))
+	for i := range node {
+		node[i] = -1
+	}
+	rs, rt := int32(0), int32(1)
+	if resolve != nil {
+		rs, rt = resolve(0), resolve(1)
+	}
+	node[rs] = Source
+	node[rt] = Sink
+	for i := range a.edges {
+		e := &a.edges[i]
+		if !e.alive {
+			continue
+		}
+		f, t := e.from, e.to
+		if resolve != nil {
+			f, t = resolve(f), resolve(t)
+		}
+		from := node[f]
+		if from < 0 {
+			from = out.AddNode()
+			node[f] = from
+		}
+		to := node[t]
+		if to < 0 {
+			to = out.AddNode()
+			node[t] = to
+		}
+		if from == to || from == Sink || to == Source {
+			continue
+		}
+		cap := e.cap
+		if cap > Inf {
+			cap = Inf
+		}
+		out.AddEdge(from, to, cap, e.label)
+	}
+	return out
+}
+
+// CSRInto builds the solver-facing CSR view directly from the arena's live
+// edges — the zero-copy handoff that skips Graph materialization entirely
+// (used for mid-run flow measurements). Nodes are renumbered and edges
+// filtered exactly as in Export, so the two views solve identically.
+func (a *Arena) CSRInto(c *CSR, resolve func(int32) int32) {
+	node := growI32(c.nodeOf, len(a.indeg))
+	for i := range node {
+		node[i] = -1
+	}
+	c.nodeOf = node
+	rs, rt := int32(0), int32(1)
+	if resolve != nil {
+		rs, rt = resolve(0), resolve(1)
+	}
+	node[rs] = int32(Source)
+	node[rt] = int32(Sink)
+	numNodes := 2
+	keep := c.keep[:0]
+	for i := range a.edges {
+		e := &a.edges[i]
+		if !e.alive {
+			continue
+		}
+		f, t := e.from, e.to
+		if resolve != nil {
+			f, t = resolve(f), resolve(t)
+		}
+		if node[f] < 0 {
+			node[f] = int32(numNodes)
+			numNodes++
+		}
+		if node[t] < 0 {
+			node[t] = int32(numNodes)
+			numNodes++
+		}
+		from, to := node[f], node[t]
+		if from == to || from == int32(Sink) || to == int32(Source) {
+			continue
+		}
+		keep = append(keep, int32(i))
+	}
+	c.keep = keep
+
+	c.N = numNodes
+	e2 := 2 * len(keep)
+	c.HStart = growI32(c.HStart, numNodes+1)
+	c.cur = growI32(c.cur, numNodes)
+	c.HArcs = growI32(c.HArcs, e2)
+	c.To = growI32(c.To, e2)
+	c.Cap = growI64(c.Cap, e2)
+	for i := range c.HStart {
+		c.HStart[i] = 0
+	}
+	ends := func(slot int32) (int32, int32) {
+		e := &a.edges[slot]
+		if resolve == nil {
+			return node[e.from], node[e.to]
+		}
+		return node[resolve(e.from)], node[resolve(e.to)]
+	}
+	for _, slot := range keep {
+		from, to := ends(slot)
+		c.HStart[from+1]++
+		c.HStart[to+1]++
+	}
+	for v := 0; v < numNodes; v++ {
+		c.HStart[v+1] += c.HStart[v]
+		c.cur[v] = c.HStart[v]
+	}
+	for i, slot := range keep {
+		e := &a.edges[slot]
+		from, to := ends(slot)
+		cp := e.cap
+		if cp > Inf {
+			cp = Inf
+		}
+		f := int32(2 * i)
+		c.To[f] = to
+		c.Cap[f] = cp
+		c.To[f+1] = from
+		c.Cap[f+1] = 0
+		c.HArcs[c.cur[from]] = f
+		c.cur[from]++
+		c.HArcs[c.cur[to]] = f + 1
+		c.cur[to]++
+	}
+}
+
+// growI32 returns a length-n []int32, reusing s's backing array if it fits.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		ns := make([]uint32, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,214 @@
+package flowgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArenaBasics(t *testing.T) {
+	a := NewArena()
+	if a.NumNodes() != 2 || a.LiveNodes() != 2 {
+		t.Fatalf("fresh arena has %d/%d nodes, want 2/2", a.NumNodes(), a.LiveNodes())
+	}
+	v := a.AddNode()
+	w := a.AddNode()
+	s1 := a.AddEdge(0, v, 8, Label{Site: 1, Kind: KindInput})
+	a.AddEdge(v, w, 5, Label{Site: 2})
+	a.AddEdge(w, 1, 8, Label{Site: 3, Kind: KindOutput})
+	if a.LiveEdges() != 3 {
+		t.Fatalf("LiveEdges = %d, want 3", a.LiveEdges())
+	}
+	if a.OutDegree(v) != 1 || a.InDegree(v) != 1 {
+		t.Fatalf("degree(v) = in %d out %d, want 1/1", a.InDegree(v), a.OutDegree(v))
+	}
+	a.Accumulate(s1, Inf)
+	if f, to := a.EdgeEnds(s1); f != 0 || to != v {
+		t.Fatalf("EdgeEnds = (%d,%d), want (0,%d)", f, to, v)
+	}
+	g := a.Export(nil)
+	if g.NumEdges() != 3 {
+		t.Fatalf("exported %d edges, want 3", g.NumEdges())
+	}
+	if g.Edges[0].Cap != Inf {
+		t.Fatalf("accumulated cap = %d, want saturated Inf", g.Edges[0].Cap)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := a.Mem()
+	if m.TotalEdges != 3 || m.PeakLiveEdges != 3 || m.TotalNodes != 4 {
+		t.Fatalf("mem = %+v", m)
+	}
+}
+
+func TestArenaCompactChain(t *testing.T) {
+	// source -> a -> b -> c -> sink contracts to a single edge of the min cap.
+	a := NewArena()
+	n1, n2, n3 := a.AddNode(), a.AddNode(), a.AddNode()
+	a.AddEdge(0, n1, 9, Label{Site: 1})
+	a.AddEdge(n1, n2, 4, Label{Site: 2})
+	a.AddEdge(n2, n3, 7, Label{Site: 3})
+	a.AddEdge(n3, 1, 8, Label{Site: 4})
+	a.CompactSP(nil)
+	if a.LiveEdges() != 1 {
+		t.Fatalf("LiveEdges = %d, want 1", a.LiveEdges())
+	}
+	g := a.Export(nil)
+	if len(g.Edges) != 1 || g.Edges[0].Cap != 4 || g.Edges[0].From != Source || g.Edges[0].To != Sink {
+		t.Fatalf("compacted edge = %+v", g.Edges)
+	}
+	m := a.Mem()
+	if m.SeriesOps != 3 || m.CompactionPasses != 1 || m.LiveNodes != 2 {
+		t.Fatalf("mem = %+v", m)
+	}
+}
+
+func TestArenaCompactParallelAndDeadEnd(t *testing.T) {
+	a := NewArena()
+	v := a.AddNode()
+	dead := a.AddNode()
+	a.AddEdge(0, v, 3, Label{Site: 1})
+	a.AddEdge(0, v, 4, Label{Site: 2})
+	a.AddEdge(v, 1, 10, Label{Site: 3})
+	a.AddEdge(v, dead, 5, Label{Site: 4}) // dead is no ancestor of sink
+	a.CompactSP(nil)
+	g := a.Export(nil)
+	if len(g.Edges) != 1 || g.Edges[0].Cap != 7 {
+		t.Fatalf("compacted edges = %+v, want one source->sink edge of cap 7", g.Edges)
+	}
+	m := a.Mem()
+	if m.ParallelOps == 0 || m.DeadEnds == 0 {
+		t.Fatalf("mem = %+v, want parallel and dead-end ops", m)
+	}
+}
+
+func TestArenaCompactRespectsProtected(t *testing.T) {
+	a := NewArena()
+	v := a.AddNode()
+	w := a.AddNode()
+	a.AddEdge(0, v, 3, Label{Site: 1})
+	a.AddEdge(v, w, 2, Label{Site: 2})
+	a.AddEdge(w, 1, 3, Label{Site: 3})
+	prot := make([]bool, a.NumNodes())
+	prot[v] = true
+	prot[w] = true
+	a.CompactSP(prot)
+	if a.LiveEdges() != 3 || a.LiveNodes() != 4 {
+		t.Fatalf("protected chain compacted: %d edges, %d nodes", a.LiveEdges(), a.LiveNodes())
+	}
+	// Unprotect: now the chain contracts and the slots return to the free list.
+	a.CompactSP(nil)
+	if a.LiveEdges() != 1 {
+		t.Fatalf("LiveEdges = %d after unprotected pass, want 1", a.LiveEdges())
+	}
+	a.AddEdge(0, 1, 1, Label{Site: 9})
+	if a.Mem().RecycledSlots == 0 {
+		t.Fatal("expected AddEdge to recycle a reclaimed slot")
+	}
+}
+
+func TestArenaSlotRecycling(t *testing.T) {
+	// Emit, compact, emit again: the slot array must not grow past its peak.
+	a := NewArena()
+	for round := 0; round < 5; round++ {
+		v, w := a.AddNode(), a.AddNode()
+		a.AddEdge(0, v, 2, Label{Site: uint32(round), Aux: 0})
+		a.AddEdge(v, w, 2, Label{Site: uint32(round), Aux: 1})
+		a.AddEdge(w, 1, 2, Label{Site: uint32(round), Aux: 2})
+		a.CompactSP(nil)
+	}
+	m := a.Mem()
+	if m.TotalEdges < 15 {
+		t.Fatalf("TotalEdges = %d, want >= 15", m.TotalEdges)
+	}
+	if len(a.edges) > 6 {
+		t.Fatalf("slot array grew to %d, want <= 6 (recycling)", len(a.edges))
+	}
+	if m.PeakLiveEdges > 4 {
+		t.Fatalf("PeakLiveEdges = %d, want <= 4", m.PeakLiveEdges)
+	}
+}
+
+// TestArenaExportMatchesGraph checks that Export renumbers nodes by first
+// appearance in edge order and preserves edges, caps and labels — the
+// contract the historical label-map builder established.
+func TestArenaExportMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewArena()
+	nodes := []int32{0, 1}
+	for i := 0; i < 6; i++ {
+		nodes = append(nodes, a.AddNode())
+	}
+	type emitted struct {
+		from, to int32
+		cap      int64
+		lbl      Label
+	}
+	var want []emitted
+	for i := 0; i < 40; i++ {
+		f := nodes[rng.Intn(len(nodes))]
+		to := nodes[rng.Intn(len(nodes))]
+		if f == to || f == 1 || to == 0 {
+			continue
+		}
+		cap := int64(rng.Intn(100))
+		lbl := Label{Site: uint32(i)}
+		a.AddEdge(f, to, cap, lbl)
+		want = append(want, emitted{f, to, cap, lbl})
+	}
+	got := a.Export(nil)
+	if got.NumEdges() != len(want) {
+		t.Fatalf("edge count %d != %d", got.NumEdges(), len(want))
+	}
+	// Replay the first-appearance renumbering rule.
+	remap := map[int32]NodeID{0: Source, 1: Sink}
+	next := NodeID(2)
+	for i, w := range want {
+		for _, v := range []int32{w.from, w.to} {
+			if _, ok := remap[v]; !ok {
+				remap[v] = next
+				next++
+			}
+		}
+		e := got.Edges[i]
+		if e.From != remap[w.from] || e.To != remap[w.to] || e.Cap != w.cap || e.Label != w.lbl {
+			t.Fatalf("edge %d: %+v, want (%d,%d,%d,%+v)", i, e, remap[w.from], remap[w.to], w.cap, w.lbl)
+		}
+	}
+	if got.NumNodes() != int(next) {
+		t.Fatalf("NumNodes = %d, want %d", got.NumNodes(), next)
+	}
+}
+
+func TestCSRMatchesBuildCSR(t *testing.T) {
+	// Arena CSRInto and Graph.BuildCSR over the exported graph must produce
+	// the identical layout.
+	a := NewArena()
+	v, w := a.AddNode(), a.AddNode()
+	a.AddEdge(0, v, 3, Label{Site: 1})
+	a.AddEdge(v, w, 2, Label{Site: 2})
+	a.AddEdge(v, 1, 1, Label{Site: 3})
+	a.AddEdge(w, 1, 4, Label{Site: 4})
+	g := a.Export(nil)
+	var c1, c2 CSR
+	a.CSRInto(&c1, nil)
+	g.BuildCSR(&c2)
+	if c1.N != c2.N {
+		t.Fatalf("N %d != %d", c1.N, c2.N)
+	}
+	for i := range c2.HStart {
+		if c1.HStart[i] != c2.HStart[i] {
+			t.Fatalf("HStart[%d]: %d != %d", i, c1.HStart[i], c2.HStart[i])
+		}
+	}
+	for i := range c2.To {
+		if c1.To[i] != c2.To[i] || c1.Cap[i] != c2.Cap[i] {
+			t.Fatalf("arc %d: (%d,%d) != (%d,%d)", i, c1.To[i], c1.Cap[i], c2.To[i], c2.Cap[i])
+		}
+	}
+	for i := range c2.HArcs {
+		if c1.HArcs[i] != c2.HArcs[i] {
+			t.Fatalf("HArcs[%d]: %d != %d", i, c1.HArcs[i], c2.HArcs[i])
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package flowgraph
+
+// CSR is the compressed-sparse-row residual layout shared between the
+// graph core and the max-flow solver. Arcs come in pairs: arc 2i is edge
+// i's forward arc (capacity Cap[2i]), arc 2i+1 its reverse (capacity 0);
+// the arc ids incident to node v are HArcs[HStart[v]:HStart[v+1]]. A
+// solver attaches to a CSR by aliasing the topology arrays and copying
+// only Cap into its residual array — the zero-copy handoff.
+//
+// A CSR is reusable: builders grow the slices in place, so a solver-owned
+// CSR filled repeatedly stops allocating once sized for the largest graph.
+type CSR struct {
+	N      int
+	HStart []int32
+	HArcs  []int32
+	To     []int32
+	Cap    []int64
+
+	// Builder scratch, retained for reuse.
+	cur    []int32
+	nodeOf []int32
+	keep   []int32
+}
+
+// NumEdges reports the number of forward edges in the view.
+func (c *CSR) NumEdges() int { return len(c.To) / 2 }
+
+// BuildCSR fills c with g's residual view, reusing c's backing arrays.
+// Edge i of g becomes arc pair (2i, 2i+1), so flow results index back into
+// g.Edges directly.
+func (g *Graph) BuildCSR(c *CSR) {
+	n := g.NumNodes()
+	e2 := 2 * len(g.Edges)
+	c.N = n
+	c.HStart = growI32(c.HStart, n+1)
+	c.cur = growI32(c.cur, n)
+	c.HArcs = growI32(c.HArcs, e2)
+	c.To = growI32(c.To, e2)
+	c.Cap = growI64(c.Cap, e2)
+	for i := range c.HStart {
+		c.HStart[i] = 0
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		c.HStart[e.From+1]++
+		c.HStart[e.To+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.HStart[v+1] += c.HStart[v]
+		c.cur[v] = c.HStart[v]
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		f := int32(2 * i)
+		c.To[f] = int32(e.To)
+		c.Cap[f] = e.Cap
+		c.To[f+1] = int32(e.From)
+		c.Cap[f+1] = 0
+		c.HArcs[c.cur[e.From]] = f
+		c.cur[e.From]++
+		c.HArcs[c.cur[e.To]] = f + 1
+		c.cur[e.To]++
+	}
+}

@@ -1,0 +1,47 @@
+package flowgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteDOTDeterministic pins the exact DOT output for a small graph
+// built in scrambled order: WriteDOT sorts edges, so permuting insertion
+// order must not change the bytes.
+func TestWriteDOTDeterministic(t *testing.T) {
+	build := func(perm []int) *Graph {
+		g := New()
+		v := g.AddNode()
+		w := g.AddNode()
+		edges := []Edge{
+			{From: Source, To: v, Cap: 8, Label: Label{Site: 1, Kind: KindInput}},
+			{From: v, To: w, Cap: Inf, Label: Label{Site: 2, Kind: KindChain}},
+			{From: v, To: Sink, Cap: 3, Label: Label{Site: 3, Kind: KindOutput}},
+			{From: w, To: Sink, Cap: 0, Label: Label{Site: 4, Kind: KindOutput}}, // omitted: zero cap
+		}
+		for _, i := range perm {
+			e := edges[i]
+			g.AddEdge(e.From, e.To, e.Cap, e.Label)
+		}
+		return g
+	}
+
+	const want = `digraph "flow" {
+  rankdir=LR;
+  n0 [label="source",shape=doublecircle];
+  n1 [label="sink",shape=doublecircle];
+  n0 -> n2 [label="input:8"];
+  n2 -> n1 [label="output:3"];
+  n2 -> n3 [label="chain:inf"];
+}
+`
+	for _, perm := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		var sb strings.Builder
+		if err := build(perm).WriteDOT(&sb, ""); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != want {
+			t.Fatalf("perm %v:\ngot:\n%s\nwant:\n%s", perm, sb.String(), want)
+		}
+	}
+}

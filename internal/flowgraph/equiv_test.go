@@ -1,0 +1,97 @@
+package flowgraph_test
+
+// equiv_test.go is the online-compaction equivalence fuzz: over randomized
+// layered DAGs, the max flow of an arena compacted *while edges stream in*
+// must equal both the uncompacted arena's flow and the flow after a
+// post-hoc whole-graph spqr.Reduce. This is the property that makes
+// Config.Compact safe to enable: compaction may only reshape the network,
+// never change its capacity.
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/maxflow"
+	"flowcheck/internal/spqr"
+)
+
+// randDAG builds a random layered DAG edge list over extra intermediate
+// nodes: every node gets a layer, edges go strictly forward in layer
+// order, Source sits below all layers and Sink above, so the result is
+// acyclic with Source source-only and Sink sink-only.
+type testEdge struct {
+	from, to flowgraph.NodeID
+	cap      int64
+}
+
+func randDAG(rng *rand.Rand, nodes, edges int) []testEdge {
+	layers := make([]int, nodes+2)
+	layers[flowgraph.Source] = 0
+	layers[flowgraph.Sink] = nodes + 1
+	for i := 0; i < nodes; i++ {
+		layers[2+i] = 1 + rng.Intn(nodes)
+	}
+	var out []testEdge
+	for len(out) < edges {
+		u := flowgraph.NodeID(rng.Intn(nodes + 2))
+		v := flowgraph.NodeID(rng.Intn(nodes + 2))
+		if u == v || layers[u] >= layers[v] {
+			continue
+		}
+		out = append(out, testEdge{from: u, to: v, cap: int64(1 + rng.Intn(16))})
+	}
+	return out
+}
+
+// emit replays the edge list into a fresh arena, compacting every
+// compactEvery edges when it is > 0. The protected set at each compaction
+// point is exactly the nodes that still appear in un-emitted edges — the
+// same contract the tracker's protectedSet fulfils online: a node may be
+// compacted away only once no future edge can touch it.
+func emit(edges []testEdge, nodes, compactEvery int) *flowgraph.Graph {
+	a := flowgraph.NewArena()
+	for i := 0; i < nodes; i++ {
+		a.AddNode()
+	}
+	var serial uint64
+	for i, e := range edges {
+		serial++
+		a.AddEdge(int32(e.from), int32(e.to), e.cap,
+			flowgraph.Label{Site: 1, Ctx: serial, Kind: flowgraph.KindData})
+		if compactEvery > 0 && (i+1)%compactEvery == 0 {
+			prot := make([]bool, a.NumNodes())
+			for _, future := range edges[i+1:] {
+				prot[future.from] = true
+				prot[future.to] = true
+			}
+			a.CompactSP(prot)
+		}
+	}
+	return a.Export(nil)
+}
+
+func TestOnlineCompactionPreservesMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 60; trial++ {
+		nodes := 2 + rng.Intn(40)
+		edges := 1 + rng.Intn(120)
+		dag := randDAG(rng, nodes, edges)
+
+		plain := emit(dag, nodes, 0)
+		want := maxflow.Compute(plain, maxflow.Dinic).Flow
+
+		for _, every := range []int{1, 3, 7, len(dag)} {
+			online := emit(dag, nodes, every)
+			if got := maxflow.Compute(online, maxflow.Dinic).Flow; got != want {
+				t.Fatalf("trial %d: compact-every-%d flow = %d, uncompacted = %d",
+					trial, every, got, want)
+			}
+		}
+
+		reduced, _ := spqr.Reduce(plain)
+		if got := maxflow.Compute(reduced, maxflow.Dinic).Flow; got != want {
+			t.Fatalf("trial %d: post-hoc spqr flow = %d, uncompacted = %d", trial, got, want)
+		}
+	}
+}

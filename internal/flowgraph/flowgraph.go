@@ -195,7 +195,9 @@ func (g *Graph) Stats() Stats {
 }
 
 // WriteDOT emits the graph in Graphviz DOT format. Edges with zero capacity
-// are omitted to keep renders readable.
+// are omitted to keep renders readable. Output is deterministic regardless
+// of construction order: edges are emitted sorted by endpoints, then label,
+// then capacity, so graph diffs in CI are stable.
 func (g *Graph) WriteDOT(w io.Writer, name string) error {
 	if name == "" {
 		name = "flow"
@@ -203,7 +205,34 @@ func (g *Graph) WriteDOT(w io.Writer, name string) error {
 	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  n0 [label=\"source\",shape=doublecircle];\n  n1 [label=\"sink\",shape=doublecircle];\n", name); err != nil {
 		return err
 	}
-	for _, e := range g.Edges {
+	order := make([]int, len(g.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := g.Edges[order[x]], g.Edges[order[y]]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Label.Site != b.Label.Site {
+			return a.Label.Site < b.Label.Site
+		}
+		if a.Label.Aux != b.Label.Aux {
+			return a.Label.Aux < b.Label.Aux
+		}
+		if a.Label.Ctx != b.Label.Ctx {
+			return a.Label.Ctx < b.Label.Ctx
+		}
+		if a.Label.Kind != b.Label.Kind {
+			return a.Label.Kind < b.Label.Kind
+		}
+		return a.Cap < b.Cap
+	})
+	for _, i := range order {
+		e := g.Edges[i]
 		if e.Cap == 0 {
 			continue
 		}

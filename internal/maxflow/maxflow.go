@@ -53,15 +53,15 @@ type Result struct {
 	cut *Cut
 }
 
-// network is the residual representation in compressed-sparse-row form:
-// each original edge i becomes arc 2i (forward) and 2i+1 (backward);
-// harcs[hstart[v]:hstart[v+1]] lists node v's incident arc ids in edge
-// order. The arrays are reused across builds.
+// network is the residual representation over a flowgraph.CSR view: each
+// original edge i is arc 2i (forward) and 2i+1 (backward); the topology
+// arrays (hstart, harcs, to) alias the CSR — zero-copy — and only resid,
+// the one array the algorithms mutate, is owned by the solver and reused
+// across attaches.
 type network struct {
 	n      int
 	hstart []int32
 	harcs  []int32
-	cur    []int32 // build scratch: per-node fill cursor
 	to     []int32
 	resid  []int64
 }
@@ -70,37 +70,16 @@ func (net *network) arcs(v int32) []int32 {
 	return net.harcs[net.hstart[v]:net.hstart[v+1]]
 }
 
-func (net *network) build(g *flowgraph.Graph) {
-	n := g.NumNodes()
-	e2 := 2 * len(g.Edges)
-	net.n = n
-	net.hstart = i32n(net.hstart, n+1)
-	net.cur = i32n(net.cur, n)
-	net.harcs = i32n(net.harcs, e2)
-	net.to = i32n(net.to, e2)
-	net.resid = i64n(net.resid, e2)
-	for i := range net.hstart {
-		net.hstart[i] = 0
-	}
-	for _, e := range g.Edges {
-		net.hstart[e.From+1]++
-		net.hstart[e.To+1]++
-	}
-	for v := 0; v < n; v++ {
-		net.hstart[v+1] += net.hstart[v]
-		net.cur[v] = net.hstart[v]
-	}
-	for i, e := range g.Edges {
-		f := int32(2 * i)
-		net.to[f] = int32(e.To)
-		net.resid[f] = e.Cap
-		net.to[f+1] = int32(e.From)
-		net.resid[f+1] = 0
-		net.harcs[net.cur[e.From]] = f
-		net.cur[e.From]++
-		net.harcs[net.cur[e.To]] = f + 1
-		net.cur[e.To]++
-	}
+// attach points the network at a CSR view and initializes residuals from
+// its capacities. The CSR must stay unmodified for the duration of the
+// solve.
+func (net *network) attach(c *flowgraph.CSR) {
+	net.n = c.N
+	net.hstart = c.HStart
+	net.harcs = c.HArcs
+	net.to = c.To
+	net.resid = i64n(net.resid, len(c.Cap))
+	copy(net.resid, c.Cap)
 }
 
 // Solver computes maximum flows with reusable buffers: the residual network
@@ -109,6 +88,7 @@ func (net *network) build(g *flowgraph.Graph) {
 type Solver struct {
 	algo Algorithm
 	net  network
+	csr  flowgraph.CSR // reusable CSR view for Graph-based solves
 
 	// Work accounting for SolveBudgeted: spent counts arc examinations,
 	// limit is the budget (0 = unlimited), exhausted records an aborted
@@ -153,7 +133,18 @@ func (s *Solver) Solve(g *flowgraph.Graph) *Result {
 // Callers needing a sound bound under exhaustion should fall back to the
 // graph's total sink capacity (the tainting bound, paper §7).
 func (s *Solver) SolveBudgeted(g *flowgraph.Graph, work int64) (*Result, bool) {
-	s.net.build(g)
+	g.BuildCSR(&s.csr)
+	return s.SolveCSR(&s.csr, work)
+}
+
+// SolveCSR solves a graph presented as a CSR view, under the same contract
+// as SolveBudgeted. The solver aliases c's topology arrays and copies only
+// the capacities into its residual buffer, so callers that already hold a
+// CSR (the arena's zero-copy handoff) skip Graph materialization entirely.
+// c must not be modified until SolveCSR returns. Edge i of the view is
+// Result.EdgeFlow[i] and Cut.EdgeIndex entries index the view's edges.
+func (s *Solver) SolveCSR(c *flowgraph.CSR, work int64) (*Result, bool) {
+	s.net.attach(c)
 	s.limit, s.spent, s.exhausted = work, 0, false
 	var flow int64
 	if s.net.n > int(flowgraph.Sink) {
@@ -166,11 +157,12 @@ func (s *Solver) SolveBudgeted(g *flowgraph.Graph, work int64) (*Result, bool) {
 			flow = s.dinic()
 		}
 	}
-	res := &Result{Flow: flow, EdgeFlow: make([]int64, len(g.Edges))}
-	for i, e := range g.Edges {
-		res.EdgeFlow[i] = e.Cap - s.net.resid[2*i]
+	ne := c.NumEdges()
+	res := &Result{Flow: flow, EdgeFlow: make([]int64, ne)}
+	for i := 0; i < ne; i++ {
+		res.EdgeFlow[i] = c.Cap[2*i] - s.net.resid[2*i]
 	}
-	res.cut = s.minCut(g)
+	res.cut = s.minCut(c)
 	return res, s.exhausted
 }
 
@@ -341,7 +333,9 @@ func (r *Result) MinCut() *Cut { return r.cut }
 
 // minCut extracts the cut from the terminal residual network. SourceSide
 // escapes into the Cut, so it is allocated fresh; the DFS stack is scratch.
-func (s *Solver) minCut(g *flowgraph.Graph) *Cut {
+// Edge i's endpoints are read off the CSR arc pair: To[2i+1] is the edge's
+// origin, To[2i] its destination.
+func (s *Solver) minCut(c *flowgraph.CSR) *Cut {
 	net := &s.net
 	seen := make([]bool, net.n)
 	stack := append(s.queue[:0], int32(flowgraph.Source))
@@ -358,10 +352,10 @@ func (s *Solver) minCut(g *flowgraph.Graph) *Cut {
 	}
 	s.queue = stack[:0]
 	cut := &Cut{SourceSide: seen}
-	for i, e := range g.Edges {
-		if seen[e.From] && !seen[e.To] {
+	for i, ne := 0, c.NumEdges(); i < ne; i++ {
+		if seen[c.To[2*i+1]] && !seen[c.To[2*i]] {
 			cut.EdgeIndex = append(cut.EdgeIndex, i)
-			cut.Capacity += e.Cap
+			cut.Capacity += c.Cap[2*i]
 		}
 	}
 	return cut

@@ -1,6 +1,7 @@
 package merge_test
 
 import (
+	"errors"
 	"testing"
 
 	"flowcheck/internal/core"
@@ -66,6 +67,58 @@ func TestMergedFlowAtLeastMaxOfRuns(t *testing.T) {
 	f := maxflow.Compute(m, maxflow.Dinic).Flow
 	if f < 5 {
 		t.Fatalf("merged flow %d below individual max", f)
+	}
+}
+
+func TestSaltLabelsBoundaries(t *testing.T) {
+	mk := func(ctx uint64) *flowgraph.Graph {
+		g := flowgraph.New()
+		g.AddEdge(flowgraph.Source, flowgraph.Sink, 1, flowgraph.Label{Site: 1, Ctx: ctx})
+		return g
+	}
+
+	// Valid: max salt with a Ctx below the salt field.
+	g := mk(1<<44 - 1)
+	if err := merge.SaltLabels(g, merge.MaxSalt); err != nil {
+		t.Fatalf("max salt rejected: %v", err)
+	}
+	if got, want := g.Edges[0].Label.Ctx, (merge.MaxSalt<<44)|(1<<44-1); got != want {
+		t.Fatalf("salted Ctx = %#x, want %#x", got, want)
+	}
+
+	// Salt too wide for the 20-bit field.
+	var serr *merge.SaltError
+	err := merge.SaltLabels(mk(0), merge.MaxSalt+1)
+	if err == nil {
+		t.Fatal("overflowing salt accepted")
+	}
+	if !errors.As(err, &serr) || serr.Edge != -1 {
+		t.Fatalf("err = %#v, want *SaltError with Edge=-1", err)
+	}
+
+	// Ctx already occupying the salt field: collision, graph unmodified.
+	g = mk(1 << 44)
+	err = merge.SaltLabels(g, 1)
+	if err == nil {
+		t.Fatal("colliding Ctx accepted")
+	}
+	if !errors.As(err, &serr) || serr.Edge != 0 {
+		t.Fatalf("err = %#v, want *SaltError with Edge=0", err)
+	}
+	if g.Edges[0].Label.Ctx != 1<<44 {
+		t.Fatalf("failed SaltLabels modified the graph: Ctx = %#x", g.Edges[0].Label.Ctx)
+	}
+
+	// Distinct salts keep two identical exact-mode graphs disjoint.
+	g1, g2 := mk(7), mk(7)
+	if err := merge.SaltLabels(g1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := merge.SaltLabels(g2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f := maxflow.Compute(merge.Graphs(g1, g2), maxflow.Dinic).Flow; f != 2 {
+		t.Fatalf("salted merge flow = %d, want 2 (side-by-side paths)", f)
 	}
 }
 

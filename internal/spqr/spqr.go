@@ -10,6 +10,11 @@
 // fixpoint, reports how much of the graph remains, and returns the reduced
 // graph, whose s-t maximum flow equals the original's.
 //
+// The reduction engine itself lives in flowgraph.Arena.CompactSP, where the
+// taint builder also runs it online during execution; this package is the
+// post-hoc entry point that loads a finished Graph into an arena, compacts
+// with no protected nodes, and reports how much survived.
+//
 // Reductions applied, all of which preserve the Source-Sink max flow:
 //
 //   - parallel: edges sharing (from, to) merge into one with summed capacity
@@ -35,208 +40,29 @@ type Stats struct {
 	CoreFraction float64
 }
 
-type redEdge struct {
-	from, to int32
-	cap      int64
-	alive    bool
-}
-
-type reducer struct {
-	edges []redEdge
-	// incidence lists hold edge indices; entries may be stale (dead or
-	// re-pointed) and are filtered on scan.
-	in, out  [][]int32
-	indeg    []int32
-	outdeg   []int32
-	work     []int32
-	inWork   []bool
-	stats    Stats
-	numNodes int
-}
-
 // Reduce applies series-parallel reductions to a copy of g until fixpoint
 // and returns the reduced graph (with compacted node ids; Source and Sink
 // keep their identities) together with reduction statistics.
 func Reduce(g *flowgraph.Graph) (*flowgraph.Graph, Stats) {
-	r := &reducer{numNodes: g.NumNodes()}
-	r.stats.OrigNodes = g.NumNodes()
-	r.stats.OrigEdges = g.NumEdges()
-	r.edges = make([]redEdge, 0, len(g.Edges))
-	r.in = make([][]int32, r.numNodes)
-	r.out = make([][]int32, r.numNodes)
-	r.indeg = make([]int32, r.numNodes)
-	r.outdeg = make([]int32, r.numNodes)
-	for _, e := range g.Edges {
-		r.addEdge(int32(e.From), int32(e.To), e.Cap)
+	st := Stats{OrigNodes: g.NumNodes(), OrigEdges: g.NumEdges()}
+	a := flowgraph.NewArena()
+	for v := 2; v < g.NumNodes(); v++ {
+		a.AddNode()
 	}
-	r.work = make([]int32, 0, r.numNodes)
-	r.inWork = make([]bool, r.numNodes)
-	for v := int32(0); v < int32(r.numNodes); v++ {
-		r.push(v)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		a.AddEdge(int32(e.From), int32(e.To), e.Cap, flowgraph.Label{Kind: flowgraph.KindData})
 	}
-	r.run()
-	return r.result()
-}
-
-func (r *reducer) addEdge(from, to int32, cap int64) {
-	idx := int32(len(r.edges))
-	r.edges = append(r.edges, redEdge{from: from, to: to, cap: cap, alive: true})
-	r.out[from] = append(r.out[from], idx)
-	r.in[to] = append(r.in[to], idx)
-	r.outdeg[from]++
-	r.indeg[to]++
-}
-
-func (r *reducer) killEdge(idx int32) {
-	e := &r.edges[idx]
-	if !e.alive {
-		return
+	a.CompactSP(nil)
+	m := a.Mem() // fresh arena: totals are this reduction's own counts
+	st.SeriesOps = m.SeriesOps
+	st.ParallelOps = m.ParallelOps
+	st.DeadNodes = m.DeadEnds
+	out := a.Export(nil)
+	st.ReducedNodes = out.NumNodes()
+	st.ReducedEdges = out.NumEdges()
+	if st.OrigEdges > 0 {
+		st.CoreFraction = float64(st.ReducedEdges) / float64(st.OrigEdges)
 	}
-	e.alive = false
-	r.outdeg[e.from]--
-	r.indeg[e.to]--
-	r.push(e.from)
-	r.push(e.to)
-}
-
-func (r *reducer) push(v int32) {
-	if !r.inWork[v] {
-		r.inWork[v] = true
-		r.work = append(r.work, v)
-	}
-}
-
-func interior(v int32) bool {
-	return v != int32(flowgraph.Source) && v != int32(flowgraph.Sink)
-}
-
-// liveOut returns the live out-edge indices of v, compacting the list.
-func (r *reducer) liveOut(v int32) []int32 {
-	lst := r.out[v][:0]
-	for _, idx := range r.out[v] {
-		if e := &r.edges[idx]; e.alive && e.from == v {
-			lst = append(lst, idx)
-		}
-	}
-	r.out[v] = lst
-	return lst
-}
-
-func (r *reducer) liveIn(v int32) []int32 {
-	lst := r.in[v][:0]
-	for _, idx := range r.in[v] {
-		if e := &r.edges[idx]; e.alive && e.to == v {
-			lst = append(lst, idx)
-		}
-	}
-	r.in[v] = lst
-	return lst
-}
-
-func (r *reducer) run() {
-	for len(r.work) > 0 {
-		v := r.work[len(r.work)-1]
-		r.work = r.work[:len(r.work)-1]
-		r.inWork[v] = false
-		r.reduceNode(v)
-	}
-}
-
-func (r *reducer) reduceNode(v int32) {
-	// Drop self-loops.
-	for _, idx := range r.liveOut(v) {
-		if r.edges[idx].to == v {
-			r.killEdge(idx)
-		}
-	}
-
-	if interior(v) {
-		// Dead-end elimination.
-		if r.outdeg[v] == 0 {
-			for _, idx := range r.liveIn(v) {
-				r.killEdge(idx)
-			}
-			if len(r.liveIn(v)) == 0 && len(r.liveOut(v)) == 0 {
-				r.stats.DeadNodes++
-			}
-			return
-		}
-		if r.indeg[v] == 0 {
-			for _, idx := range r.liveOut(v) {
-				r.killEdge(idx)
-			}
-			r.stats.DeadNodes++
-			return
-		}
-		// Series contraction.
-		if r.indeg[v] == 1 && r.outdeg[v] == 1 {
-			ins := r.liveIn(v)
-			outs := r.liveOut(v)
-			if len(ins) == 1 && len(outs) == 1 {
-				ein, eout := &r.edges[ins[0]], &r.edges[outs[0]]
-				u, w := ein.from, eout.to
-				cap := ein.cap
-				if eout.cap < cap {
-					cap = eout.cap
-				}
-				r.killEdge(ins[0])
-				r.killEdge(outs[0])
-				if u != w { // u == w would be a self-loop: drop entirely
-					r.addEdge(u, w, cap)
-				}
-				r.stats.SeriesOps++
-				r.push(u)
-				r.push(w)
-				return
-			}
-		}
-	}
-
-	// Parallel merge of v's out-edges.
-	outs := r.liveOut(v)
-	if len(outs) > 1 {
-		byTarget := make(map[int32]int32, len(outs))
-		for _, idx := range outs {
-			t := r.edges[idx].to
-			if first, ok := byTarget[t]; ok {
-				cap := r.edges[first].cap + r.edges[idx].cap
-				if cap > flowgraph.Inf {
-					cap = flowgraph.Inf
-				}
-				r.edges[first].cap = cap
-				r.killEdge(idx)
-				r.stats.ParallelOps++
-				r.push(t)
-			} else {
-				byTarget[t] = idx
-			}
-		}
-	}
-}
-
-func (r *reducer) result() (*flowgraph.Graph, Stats) {
-	out := flowgraph.New()
-	remap := make([]flowgraph.NodeID, r.numNodes)
-	for i := range remap {
-		remap[i] = -1
-	}
-	remap[flowgraph.Source] = flowgraph.Source
-	remap[flowgraph.Sink] = flowgraph.Sink
-	for _, e := range r.edges {
-		if !e.alive {
-			continue
-		}
-		for _, v := range [2]int32{e.from, e.to} {
-			if remap[v] < 0 {
-				remap[v] = out.AddNode()
-			}
-		}
-		out.AddEdge(remap[e.from], remap[e.to], e.cap, flowgraph.Label{Kind: flowgraph.KindData})
-	}
-	r.stats.ReducedNodes = out.NumNodes()
-	r.stats.ReducedEdges = out.NumEdges()
-	if r.stats.OrigEdges > 0 {
-		r.stats.CoreFraction = float64(r.stats.ReducedEdges) / float64(r.stats.OrigEdges)
-	}
-	return out, r.stats
+	return out, st
 }

@@ -5,25 +5,40 @@ import (
 	"flowcheck/internal/unionfind"
 )
 
-// builder incrementally constructs a flow graph during execution.
+// builder incrementally constructs a flow graph during execution, emitting
+// directly into an arena-backed graph core (flowgraph.Arena).
 //
 // It implements both construction modes of paper §4.2/§5.2 with one
-// mechanism. Every runtime value is a pair of union-find elements (the two
-// halves of a split node); every edge carries a Label. In collapsed mode,
-// edges with the same label are merged: their capacities accumulate and
+// mechanism. Every runtime value is a pair of arena nodes (the two halves
+// of a split node); every edge carries a Label. In collapsed mode, edges
+// with the same label are merged: their capacities accumulate in place and
 // their endpoints' classes are unioned — the paper's almost-linear-time
-// combination using a union-find structure (§3.2). In exact mode every edge
-// is given a unique label, so no merging occurs and the graph reflects each
-// dynamic operation individually.
+// combination using a union-find structure (§3.2); the union-find runs in
+// lockstep with arena node allocation, so element ids and node ids
+// coincide. In exact mode every edge is given a unique label, no merging
+// occurs, and the arena can additionally be compacted online (CompactSP)
+// while execution continues, keeping live size proportional to static code
+// locations plus the execution's live frontier.
 //
 // Value pairs are canonicalized per label in collapsed mode, so the
 // builder's memory grows with code coverage (the number of distinct
 // labels), not with run time — the property §5.2 relies on for analyzing
 // long executions.
 type builder struct {
-	uf    *unionfind.UF
-	edges map[flowgraph.Label]*accEdge
-	order []flowgraph.Label
+	ar *flowgraph.Arena
+
+	// uf unions collapsed-label endpoints lazily; classes are resolved only
+	// at export. nil in exact mode, where no unions ever happen.
+	uf *unionfind.UF
+
+	// slots maps a label to its arena edge slot (collapsed mode only;
+	// exact-mode labels are unique by construction, so no map is needed).
+	slots map[flowgraph.Label]int32
+
+	// labels counts distinct labelled edges ever emitted; unlike the
+	// arena's live-edge count it is immune to compaction, so reports keep
+	// their historical meaning.
+	labels int
 
 	srcEl, sinkEl int32
 
@@ -37,36 +52,32 @@ type builder struct {
 	implicitEdges int
 }
 
-type accEdge struct {
-	from, to int32
-	cap      int64
-}
-
 type valPair struct {
 	in, out int32
 }
 
 func newBuilder(exact bool) *builder {
 	b := &builder{
-		uf:       unionfind.New(0),
-		edges:    map[flowgraph.Label]*accEdge{},
-		canonVal: map[flowgraph.Label]valPair{},
-		exact:    exact,
+		ar:    flowgraph.NewArena(),
+		exact: exact,
 	}
-	b.srcEl = int32(b.uf.MakeSet())
-	b.sinkEl = int32(b.uf.MakeSet())
+	b.srcEl = 0 // arena Source
+	b.sinkEl = 1
+	if !exact {
+		b.uf = unionfind.New(2) // elements 0,1 mirror the terminal nodes
+		b.slots = map[flowgraph.Label]int32{}
+		b.canonVal = map[flowgraph.Label]valPair{}
+	}
 	return b
 }
 
 // element allocates a fresh graph element (used for region and chain nodes).
-func (b *builder) element() int32 { return int32(b.uf.MakeSet()) }
-
-func satAdd(a, c int64) int64 {
-	s := a + c
-	if s > flowgraph.Inf {
-		return flowgraph.Inf
+func (b *builder) element() int32 {
+	el := b.ar.AddNode()
+	if b.uf != nil {
+		b.uf.MakeSet() // keep element ids and arena node ids in lockstep
 	}
-	return s
+	return el
 }
 
 // addEdge records an information channel of cap bits from element `from` to
@@ -78,15 +89,19 @@ func (b *builder) addEdge(from, to int32, cap int64, lbl flowgraph.Label) {
 	if b.exact {
 		b.serial++
 		lbl.Ctx = b.serial
-	}
-	if e, ok := b.edges[lbl]; ok {
-		e.cap = satAdd(e.cap, cap)
-		b.uf.Union(int(e.from), int(from))
-		b.uf.Union(int(e.to), int(to))
+		b.ar.AddEdge(from, to, cap, lbl)
+		b.labels++
 		return
 	}
-	b.edges[lbl] = &accEdge{from: from, to: to, cap: cap}
-	b.order = append(b.order, lbl)
+	if slot, ok := b.slots[lbl]; ok {
+		b.ar.Accumulate(slot, cap)
+		ef, et := b.ar.EdgeEnds(slot)
+		b.uf.Union(int(ef), int(from))
+		b.uf.Union(int(et), int(to))
+		return
+	}
+	b.slots[lbl] = b.ar.AddEdge(from, to, cap, lbl)
+	b.labels++
 }
 
 // value creates (or, in collapsed mode, re-finds) the split node pair for a
@@ -96,8 +111,7 @@ func (b *builder) value(lbl flowgraph.Label, capBits int64) (in, out int32) {
 	lbl.Kind = flowgraph.KindInternal
 	if !b.exact {
 		if vp, ok := b.canonVal[lbl]; ok {
-			e := b.edges[lbl]
-			e.cap = satAdd(e.cap, capBits)
+			b.ar.Accumulate(b.slots[lbl], capBits)
 			return vp.in, vp.out
 		}
 	}
@@ -110,38 +124,27 @@ func (b *builder) value(lbl flowgraph.Label, capBits int64) (in, out int32) {
 	return in, out
 }
 
+// compact runs an in-place series-parallel compaction pass over the arena.
+// protected must cover every element the tracker can still attach edges to;
+// see Tracker.MaybeCompact for the safety argument. Exact mode only: the
+// collapsed builder's label and canonical-value maps hold slot and element
+// references that compaction would invalidate.
+func (b *builder) compact(protected []bool) {
+	b.ar.CompactSP(protected)
+}
+
 // build assembles the current state into a flowgraph. It does not consume
 // the builder, so intermediate flows (§8.1's real-time mode) can be
 // computed mid-run.
 func (b *builder) build() *flowgraph.Graph {
-	g := flowgraph.New()
-	nodeOf := map[int]flowgraph.NodeID{
-		b.uf.Find(int(b.srcEl)):  flowgraph.Source,
-		b.uf.Find(int(b.sinkEl)): flowgraph.Sink,
+	return b.ar.Export(b.resolve())
+}
+
+// resolve returns the node-representative function for export: union-find
+// class resolution in collapsed mode, identity (nil) in exact mode.
+func (b *builder) resolve() func(int32) int32 {
+	if b.uf == nil {
+		return nil
 	}
-	get := func(el int32) flowgraph.NodeID {
-		c := b.uf.Find(int(el))
-		if n, ok := nodeOf[c]; ok {
-			return n
-		}
-		n := g.AddNode()
-		nodeOf[c] = n
-		return n
-	}
-	for _, lbl := range b.order {
-		e := b.edges[lbl]
-		from, to := get(e.from), get(e.to)
-		if from == to || from == flowgraph.Sink || to == flowgraph.Source {
-			// Self-loops carry no s-t flow; edges out of the sink or into
-			// the source cannot arise from well-formed labels but are
-			// dropped defensively rather than corrupting the graph.
-			continue
-		}
-		cap := e.cap
-		if cap > flowgraph.Inf {
-			cap = flowgraph.Inf
-		}
-		g.AddEdge(from, to, cap, lbl)
-	}
-	return g
+	return func(v int32) int32 { return int32(b.uf.Find(int(v))) }
 }

@@ -54,6 +54,16 @@ type Options struct {
 	// execution once per class, with each class's range, measures each
 	// secret's disclosure independently.
 	SecretRanges []StreamRange
+
+	// Compact enables online series-parallel compaction in exact mode: when
+	// the number of live edges grows past an epoch threshold, the part of
+	// the graph the execution can no longer touch is contracted in place
+	// (§5.1 reductions), and the next epoch begins Compact edges above the
+	// compacted size. This keeps peak memory proportional to static code
+	// locations plus the live frontier rather than executed instructions —
+	// the online analogue of §5.2's collapsing. Zero disables compaction;
+	// collapsed mode ignores it (collapsing already bounds the graph).
+	Compact int
 }
 
 // StreamRange is a byte range of the secret input stream (§10.1).
@@ -96,7 +106,7 @@ type Snapshot struct {
 
 // Stats summarizes tracker activity.
 type Stats struct {
-	Elements         int // union-find elements allocated
+	Elements         int // graph elements (arena nodes) allocated
 	LabelledEdges    int // distinct edge labels
 	ImplicitEdges    int // implicit-flow edge events
 	DescriptorFlush  int // lazy-region descriptor eliminations
@@ -158,6 +168,18 @@ type Tracker struct {
 
 	// secPos tracks the secret stream offset for SecretRanges filtering.
 	secPos int
+
+	// compactAt is the live-edge threshold that triggers the next online
+	// compaction pass (see Options.Compact).
+	compactAt int
+	// protScratch is the reusable protected-node mark array for compaction.
+	protScratch []bool
+
+	// csr and noteSolver serve FlowNote's mid-run measurements: the graph is
+	// handed to the solver as a reusable CSR view, skipping Graph
+	// materialization.
+	csr        flowgraph.CSR
+	noteSolver *maxflow.Solver
 }
 
 // New creates a tracker.
@@ -173,6 +195,7 @@ func New(opts Options) *Tracker {
 		chainCanon:  map[flowgraph.Label]int32{},
 	}
 	t.chainEl = t.b.element()
+	t.compactAt = opts.Compact
 	return t
 }
 
@@ -214,6 +237,7 @@ func (t *Tracker) ResetAll() {
 	t.Reset()
 	t.b = newBuilder(t.opts.Exact)
 	t.chainEl = t.b.element()
+	t.compactAt = t.opts.Compact
 	clear(t.regionCanon)
 	clear(t.chainCanon)
 	// Diagnostics escape into Results; release rather than truncate.
@@ -225,13 +249,67 @@ func (t *Tracker) ResetAll() {
 // Graph builds the flow graph for the execution so far.
 func (t *Tracker) Graph() *flowgraph.Graph { return t.b.build() }
 
-// GraphSize reports the current size of the accumulating graph — union-find
-// elements (an upper bound on nodes) and distinct labelled edges — without
+// GraphSize reports the current size of the accumulating graph — live arena
+// nodes (an upper bound on exported nodes) and live edges — without
 // building it. It is cheap enough for the engine's step-interval budget
 // polling: in exact mode graph growth tracks run time, and this is the
-// handle that bounds it mid-run.
+// handle that bounds it mid-run. With online compaction enabled, the size
+// reported (and hence budgeted) is the post-compaction live size.
 func (t *Tracker) GraphSize() (nodes, edges int) {
-	return t.b.uf.Len(), len(t.b.order)
+	return t.b.ar.LiveNodes(), t.b.ar.LiveEdges()
+}
+
+// MemStats reports the graph core's memory behavior: peak live sizes,
+// totals emitted, and compaction activity.
+func (t *Tracker) MemStats() flowgraph.MemStats { return t.b.ar.Mem() }
+
+// MaybeCompact runs an online series-parallel compaction pass if compaction
+// is enabled and the live-edge count has crossed the current epoch
+// threshold. It must only be called at instruction boundaries (the engine's
+// periodic check hook): mid-instruction, partially-emitted structures (for
+// example a region being left) could reference nodes a pass would contract.
+//
+// Soundness: CompactSP only touches nodes outside the protected set, which
+// covers every element the tracker can still attach edges to — registers,
+// shadow memory (pages and descriptors), open regions, and the output
+// chain head. An unprotected node can never gain another edge, so
+// contracting it preserves the final graph's Source-Sink max flow.
+func (t *Tracker) MaybeCompact() {
+	if t.opts.Compact <= 0 || !t.opts.Exact {
+		return
+	}
+	if t.b.ar.LiveEdges() < t.compactAt {
+		return
+	}
+	t.b.compact(t.protectedSet())
+	t.compactAt = t.b.ar.LiveEdges() + t.opts.Compact
+}
+
+// protectedSet marks every arena node the tracker may still reference.
+func (t *Tracker) protectedSet() []bool {
+	n := t.b.ar.NumNodes()
+	p := t.protScratch
+	if cap(p) < n {
+		p = make([]bool, n)
+	} else {
+		p = p[:n]
+		clear(p)
+	}
+	t.protScratch = p
+	mark := func(el int32) {
+		if el > 0 {
+			p[el] = true
+		}
+	}
+	mark(t.chainEl)
+	for i := range t.regEl {
+		mark(t.regEl[i])
+	}
+	for _, r := range t.regions {
+		mark(r.el)
+	}
+	t.sh.forEachEl(mark)
+	return p
 }
 
 // Warnings returns accumulated diagnostics.
@@ -244,8 +322,8 @@ func (t *Tracker) Snapshots() []Snapshot { return t.snapshots }
 // Stats returns tracker statistics.
 func (t *Tracker) Stats() Stats {
 	s := t.stats
-	s.Elements = t.b.uf.Len()
-	s.LabelledEdges = len(t.b.order)
+	s.Elements = t.b.ar.NumNodes()
+	s.LabelledEdges = t.b.labels
 	s.ImplicitEdges = t.b.implicitEdges
 	s.DescriptorFlush = t.sh.flushes
 	return s
@@ -911,9 +989,15 @@ func (t *Tracker) Exit(site uint32, codeReg int) {
 }
 
 // FlowNote implements vm.Tracer: take an intermediate flow measurement.
+// The graph is handed to the solver as a CSR view built straight from the
+// arena — no intermediate Graph is materialized, so real-time measurements
+// (§8.1) stay cheap even when taken frequently.
 func (t *Tracker) FlowNote(site uint32) {
-	g := t.b.build()
-	res := maxflow.Compute(g, maxflow.Dinic)
+	t.b.ar.CSRInto(&t.csr, t.b.resolve())
+	if t.noteSolver == nil {
+		t.noteSolver = maxflow.NewSolver(maxflow.Dinic)
+	}
+	res, _ := t.noteSolver.SolveCSR(&t.csr, 0)
 	t.snapshots = append(t.snapshots, Snapshot{
 		Steps:       t.m.Steps,
 		OutputBytes: t.stats.OutputBytes,
