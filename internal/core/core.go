@@ -55,6 +55,11 @@ type (
 	CancelError = engine.CancelError
 	// InternalError is a recovered pipeline-stage panic.
 	InternalError = engine.InternalError
+	// Class is a failure's retry classification (Classify).
+	Class = engine.Class
+	// PoolStats reports an analyzer's session churn: live checkouts,
+	// sessions built, and sessions quarantined instead of re-pooled.
+	PoolStats = engine.PoolStats
 	// MemStats reports the graph core's memory and online-compaction
 	// behavior (Config.Compact), surfaced as Result.Mem.
 	MemStats = flowgraph.MemStats
@@ -77,6 +82,22 @@ var (
 	// ErrInternal marks a recovered pipeline-stage panic.
 	ErrInternal = engine.ErrInternal
 )
+
+// Retry classifications of analysis failures; see Classify.
+const (
+	// ClassNone classifies a nil error.
+	ClassNone = engine.ClassNone
+	// ClassTransient marks failures worth retrying (step limits, exceeded
+	// budgets — ideally with a larger budget).
+	ClassTransient = engine.ClassTransient
+	// ClassPermanent marks failures retries cannot fix (cancellation,
+	// guest traps, internal errors).
+	ClassPermanent = engine.ClassPermanent
+)
+
+// Classify sorts an analysis failure into the retry taxonomy consumed by
+// supervision layers such as internal/serve.
+func Classify(err error) Class { return engine.Classify(err) }
 
 // NewAnalyzer creates a reusable analyzer for prog: repeated calls reuse
 // pooled sessions (guest memory, tracker, solver buffers).

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flowcheck/internal/fault"
 	"flowcheck/internal/flowgraph"
 	"flowcheck/internal/maxflow"
 	"flowcheck/internal/merge"
@@ -42,24 +43,40 @@ func (a *Analyzer) workers(n int) int {
 // Sessions are released by defer in both the single- and multi-worker
 // paths, and a panic escaping fn is recovered into that index's error
 // slot, so no failure mode can leak a session or kill a worker before its
-// remaining items run.
+// remaining items run. A run that poisons its session (a recovered panic,
+// in fn or deeper in runStages) does not poison the runs after it: the
+// worker swaps the quarantined session for a fresh one before taking its
+// next item.
 func (a *Analyzer) fanOut(n int, fn func(s *session, i int) error) []error {
 	errs := make([]error, n)
 	call := func(s *session, i int) {
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = &InternalError{Stage: "fan-out", Value: r, Stack: debug.Stack()}
+				s.poisoned = true
+				errs[i] = &InternalError{Stage: fault.StageFanOut, Value: r, Stack: debug.Stack()}
 			}
 		}()
 		errs[i] = fn(s, i)
 	}
+	work := func(claim func() int) {
+		s := a.acquire()
+		defer func() { a.release(s) }()
+		for {
+			i := claim()
+			if i >= n {
+				return
+			}
+			call(s, i)
+			if s.poisoned {
+				a.release(s) // quarantines; the next item gets a clean session
+				s = a.acquire()
+			}
+		}
+	}
 	workers := a.workers(n)
 	if workers == 1 {
-		s := a.acquire()
-		defer a.release(s)
-		for i := 0; i < n; i++ {
-			call(s, i)
-		}
+		serial := 0
+		work(func() int { i := serial; serial++; return i })
 		return errs
 	}
 	var next atomic.Int64
@@ -68,15 +85,7 @@ func (a *Analyzer) fanOut(n int, fn func(s *session, i int) error) []error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := a.acquire()
-			defer a.release(s)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				call(s, i)
-			}
+			work(func() int { return int(next.Add(1)) - 1 })
 		}()
 	}
 	wg.Wait()
@@ -124,7 +133,7 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 	// panic cannot escape AnalyzeBatch.
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, &InternalError{Stage: "merge", Value: r, Stack: debug.Stack()}
+			res, err = nil, &InternalError{Stage: fault.StageMerge, Value: r, Stack: debug.Stack()}
 		}
 	}()
 

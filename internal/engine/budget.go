@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"flowcheck/internal/fault"
 	"flowcheck/internal/flowgraph"
@@ -89,6 +90,7 @@ func (a *Analyzer) checkHook(ctx context.Context, tr *taint.Tracker, inj fault.I
 	if !cancelable && !b.active() && !inj.Active() && !compacting {
 		return nil
 	}
+	stalled := false
 	return func(m *vm.Machine) error {
 		// The hook runs at instruction boundaries, the one point where no
 		// partially-emitted graph structure exists — the only place online
@@ -99,6 +101,13 @@ func (a *Analyzer) checkHook(ctx context.Context, tr *taint.Tracker, inj fault.I
 		}
 		if inj.TrapAtStep != 0 && m.Steps >= inj.TrapAtStep {
 			return &vm.Trap{PC: m.PC, Msg: fmt.Sprintf("injected fault at step %d", m.Steps)}
+		}
+		// An injected stall pauses once, then lets the run continue; the
+		// cancellation poll below runs right after, so a deadline that
+		// passed during the stall aborts at the earliest sound point.
+		if inj.StallAtStep != 0 && !stalled && m.Steps >= inj.StallAtStep {
+			stalled = true
+			time.Sleep(inj.StallFor)
 		}
 		if inj.ExhaustResource != "" {
 			return &BudgetError{Resource: inj.ExhaustResource}

@@ -1,0 +1,77 @@
+// classify.go splits the failure taxonomy of errors.go along the axis a
+// serving layer cares about: is retrying this run worth anything?
+//
+// The split follows the semantics of each failure, not its surface:
+//
+//   - ErrBudget is transient. A budget is a knob, not a fact about the
+//     program: the same run under a larger budget (or without a transient
+//     stall inflating its graph's dwell time) can succeed, so a retry —
+//     ideally with the budget grown — is meaningful.
+//   - ErrStepLimit is transient for the same reason: the step budget is
+//     caller-chosen, and an injected or environmental stall can push an
+//     otherwise-fine run over it.
+//   - ErrCanceled is permanent for THIS request: its deadline has passed
+//     or its caller has gone away; rerunning cannot un-cancel it.
+//   - Guest traps are permanent: the program faulted deterministically on
+//     these inputs, and will again.
+//   - ErrInternal is permanent and worse: a recovered engine panic says
+//     nothing about the inputs and everything about the engine, so callers
+//     should stop hammering the same program (circuit breaking) rather
+//     than retry.
+package engine
+
+import (
+	"errors"
+
+	"flowcheck/internal/vm"
+)
+
+// Class is the retry classification of an analysis failure.
+type Class int
+
+const (
+	// ClassNone is the classification of a nil error.
+	ClassNone Class = iota
+	// ClassTransient marks failures a retry (possibly with a larger
+	// budget) can plausibly clear: ErrBudget, ErrStepLimit.
+	ClassTransient
+	// ClassPermanent marks failures retrying cannot clear: ErrCanceled,
+	// guest traps, ErrInternal, and anything unrecognized.
+	ClassPermanent
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	}
+	return "unknown"
+}
+
+// Classify maps an analysis failure onto the transient/permanent split.
+// It accepts both the errors returned by the Analyze entry points and the
+// trap values surfaced on Result.Trap / RunSummary.Err. Unrecognized
+// errors classify as permanent: retrying an unknown failure is how retry
+// storms start.
+func Classify(err error) Class {
+	var trap *vm.Trap
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, ErrStepLimit):
+		return ClassTransient
+	case errors.Is(err, ErrBudget):
+		return ClassTransient
+	case errors.Is(err, ErrCanceled):
+		return ClassPermanent
+	case errors.Is(err, ErrInternal):
+		return ClassPermanent
+	case errors.As(err, &trap):
+		return ClassPermanent
+	}
+	return ClassPermanent
+}

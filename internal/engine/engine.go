@@ -69,6 +69,13 @@ type Config struct {
 	// Fault injects deterministic failures for testing the degradation
 	// paths (internal/fault); nil injects nothing.
 	Fault *fault.Plan
+	// SessionHighWater, when non-zero, recycles pooled sessions whose last
+	// run's arena grew past this many peak live edges: the session is
+	// discarded and a later run builds a fresh one, so one pathological
+	// input cannot permanently balloon a pooled arena. Sessions that
+	// recovered a panic are always discarded, regardless of this knob.
+	// Result-visible behavior is unchanged; PoolStats reports the churn.
+	SessionHighWater int
 	// Lint enables the static pre-pass and the static/dynamic
 	// cross-check: CFGs, postdominator-based enclosure regions, and
 	// enclosure-span matching are computed once per Analyzer
@@ -95,6 +102,11 @@ type session struct {
 	solver  *maxflow.Solver
 	rec     *static.Recorder // dynamic-event recorder for Config.Lint
 	used    bool             // machine has executed and needs Reset before reuse
+
+	// poisoned marks a session that recovered a panic mid-run: its
+	// tracker/arena/machine state may be inconsistent, so release
+	// quarantines it (drops it for the GC) instead of pooling it.
+	poisoned bool
 }
 
 // prepare readies the machine for one run.
@@ -131,8 +143,12 @@ type Analyzer struct {
 
 	// live counts sessions currently checked out of the pool — the
 	// observable that the robustness tests use to prove no failure path
-	// leaks a session.
-	live atomic.Int64
+	// leaks a session. created and recycled count pool churn: sessions
+	// built by pool.New, and sessions quarantined instead of pooled
+	// (poisoned by a recovered panic, or over the SessionHighWater mark).
+	live     atomic.Int64
+	created  atomic.Int64
+	recycled atomic.Int64
 
 	// Static analysis is a pure function of the (immutable) program, so it
 	// is computed at most once per Analyzer and shared by every run.
@@ -145,6 +161,7 @@ type Analyzer struct {
 func New(prog *vm.Program, cfg Config) *Analyzer {
 	a := &Analyzer{prog: prog, cfg: cfg}
 	a.pool.New = func() any {
+		a.created.Add(1)
 		size := a.cfg.MemSize
 		if size == 0 {
 			size = vm.DefaultMemSize
@@ -190,15 +207,52 @@ func (a *Analyzer) acquire() *session {
 	return a.pool.Get().(*session)
 }
 
+// release returns a session to the pool — unless it must be recycled:
+// poisoned sessions (a recovered panic left their state inconsistent) and
+// sessions whose last run's arena outgrew Config.SessionHighWater are
+// dropped for the GC instead, and a later acquire builds a fresh one.
 func (a *Analyzer) release(s *session) {
 	a.live.Add(-1)
+	if s.poisoned || a.overHighWater(s) {
+		a.recycled.Add(1)
+		return
+	}
 	a.pool.Put(s)
+}
+
+// overHighWater reports whether the session's last run grew its arena past
+// the configured recycle mark.
+func (a *Analyzer) overHighWater(s *session) bool {
+	hw := a.cfg.SessionHighWater
+	if hw <= 0 || s.tracker == nil {
+		return false
+	}
+	return s.tracker.MemStats().PeakLiveEdges > hw
+}
+
+// PoolStats reports session-pool churn: sessions currently checked out,
+// ever built, and quarantined instead of pooled. Live returning to zero
+// after a drain is the no-leak observable; Recycled counts crash-isolation
+// and high-water discards.
+type PoolStats struct {
+	Live     int64
+	Created  int64
+	Recycled int64
+}
+
+// Pool returns a snapshot of the analyzer's session-pool statistics.
+func (a *Analyzer) Pool() PoolStats {
+	return PoolStats{
+		Live:     a.live.Load(),
+		Created:  a.created.Load(),
+		Recycled: a.recycled.Load(),
+	}
 }
 
 // injectPanic fires a scripted stage panic; the stage-boundary recovery in
 // runStages turns it into an InternalError, exactly as a genuine bug
 // panicking at that point would be.
-func injectPanic(inj fault.Injection, stage string) {
+func injectPanic(inj fault.Injection, stage fault.Stage) {
 	if inj.PanicStage == stage {
 		panic(fmt.Sprintf("fault: injected panic in %s stage", stage))
 	}
@@ -256,6 +310,10 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 	stage := fault.StageExecute
 	defer func() {
 		if r := recover(); r != nil {
+			// Quarantine the session: the panic may have left its tracker,
+			// arena, or machine mid-mutation, and pooling it would hand the
+			// inconsistent state to an unrelated future run.
+			s.poisoned = true
 			res, err = nil, &InternalError{Stage: stage, Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -284,7 +342,7 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 	if check := a.checkHook(ctx, tr, inj); check != nil {
 		s.m.Check = check
 		s.m.CheckEvery = a.cfg.Budget.CheckEvery
-		if inj.TrapAtStep != 0 {
+		if inj.TrapAtStep != 0 || inj.StallAtStep != 0 {
 			s.m.CheckEvery = 1 // exact injected step counts
 		}
 	}

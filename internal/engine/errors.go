@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flowcheck/internal/fault"
 	"flowcheck/internal/vm"
 )
 
@@ -67,10 +68,12 @@ func (e *CancelError) Unwrap() error        { return e.Cause }
 
 // InternalError is a pipeline-stage panic recovered at the stage boundary:
 // an engine bug (or an injected fault standing in for one) surfaced as an
-// error instead of killing the process or leaking a pooled session.
+// error instead of killing the process or leaking a pooled session. The
+// session that recovered the panic is quarantined — discarded instead of
+// pooled — since its tracker/arena/machine state may be inconsistent.
 type InternalError struct {
-	Stage string // execute, build, solve, report, merge
-	Value any    // the recovered panic value
+	Stage fault.Stage // execute, build, solve, report, fan-out, merge
+	Value any         // the recovered panic value
 	Stack []byte
 }
 

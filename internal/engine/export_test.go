@@ -4,3 +4,12 @@ package engine
 // analyzer's pool, so the robustness tests can prove that no failure path
 // leaks one.
 func LiveSessions(a *Analyzer) int64 { return a.live.Load() }
+
+// SessionsCreated exposes how many sessions pool.New has built: a second
+// creation after a single-session workload proves a quarantined session
+// was really replaced, not reused.
+func SessionsCreated(a *Analyzer) int64 { return a.created.Load() }
+
+// SessionsRecycled exposes how many sessions release quarantined instead
+// of pooling (poisoned by a recovered panic, or over SessionHighWater).
+func SessionsRecycled(a *Analyzer) int64 { return a.recycled.Load() }

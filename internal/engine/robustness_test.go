@@ -192,11 +192,11 @@ func TestOutputBudgetExceededShortRun(t *testing.T) {
 
 // Every pipeline stage's panic is recovered at the stage boundary into an
 // ErrInternal naming the stage — and with one poisoned run in a batch the
-// session is immediately reused for the next run, proving recovery leaves
-// the pool usable.
+// next run still succeeds, on a fresh session that replaced the
+// quarantined one (see TestPanickedSessionQuarantined).
 func TestStagePanicsRecovered(t *testing.T) {
-	for _, stage := range []string{fault.StageExecute, fault.StageBuild, fault.StageSolve, fault.StageReport} {
-		t.Run(stage, func(t *testing.T) {
+	for _, stage := range []fault.Stage{fault.StageExecute, fault.StageBuild, fault.StageSolve, fault.StageReport} {
+		t.Run(string(stage), func(t *testing.T) {
 			a := engine.New(guest.Program("unary"), engine.Config{
 				Workers: 1, // run 1 reuses run 0's just-panicked session
 				Fault:   fault.NewPlan().ForRun(0, fault.Injection{PanicStage: stage}),

@@ -1,0 +1,82 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"flowcheck/internal/engine"
+	"flowcheck/internal/fault"
+	"flowcheck/internal/guest"
+)
+
+// TestBatchChaosSoakDeterministic is the engine-level chaos soak: seeded
+// random fault plans (traps, budget exhaustion, solver exhaustion, stage
+// panics, stalls) over AnalyzeBatchContext, each plan run twice at each
+// worker count. The properties under test:
+//
+//   - determinism: two identical runs produce bit-identical joint bounds,
+//     cuts, and survivor sets — injected chaos (including stalls, which
+//     perturb scheduling) must not leak into the merge order;
+//   - isolation: a failed run never poisons its neighbours, and no
+//     session leaks whatever mix of failures fires.
+//
+// Run under -race this is also the fan-out's data-race soak. Guarded by
+// -short so the quick tier stays quick.
+func TestBatchChaosSoakDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	prog := guest.Program("unary")
+	inputs := unaryInputs(0, 1, 2, 3, 5, 8, 13, 21, 40, 77, 100, 128, 150, 200, 230, 255)
+
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := fault.Random(seed, len(inputs))
+			var first *engine.Result
+			var firstSurv string
+			for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				for rep := 0; rep < 2; rep++ {
+					a := engine.New(prog, engine.Config{Workers: w, Fault: plan})
+					res, err := a.AnalyzeBatchContext(context.Background(), inputs)
+					if err != nil {
+						t.Fatalf("workers=%d rep=%d: %v", w, rep, err)
+					}
+					surv := survivorSet(res)
+					if first == nil {
+						first, firstSurv = res, surv
+					} else {
+						if res.Bits != first.Bits {
+							t.Fatalf("workers=%d rep=%d: bits %d != %d", w, rep, res.Bits, first.Bits)
+						}
+						if got, want := res.CutString(), first.CutString(); got != want {
+							t.Fatalf("workers=%d rep=%d: cut %q != %q", w, rep, got, want)
+						}
+						if surv != firstSurv {
+							t.Fatalf("workers=%d rep=%d: survivors %s != %s", w, rep, surv, firstSurv)
+						}
+					}
+					mustZeroLive(t, a)
+				}
+			}
+			if firstSurv == "" {
+				t.Fatalf("seed %d: every run failed; soak exercises nothing", seed)
+			}
+		})
+	}
+}
+
+// survivorSet renders which runs contributed to the joint bound, with each
+// survivor's standalone summary, so any divergence pinpoints the run.
+func survivorSet(res *engine.Result) string {
+	s := ""
+	for _, r := range res.Runs {
+		if r.Err != nil {
+			continue
+		}
+		s += fmt.Sprintf("%d:%d/%d/%v;", r.Run, r.Bits, r.OutputBytes, r.Trapped)
+	}
+	return s
+}

@@ -3,11 +3,12 @@
 //
 // A Plan scripts, per run index, which failure a run should suffer: a
 // guest trap at a chosen step count, a forced budget exhaustion, a forced
-// solver-budget degradation, or a panic at the entry of a pipeline stage.
-// The plan is pure data — the engine interprets it at its own failure
-// points (the VM check hook, the budget checks, the stage boundaries), so
-// injected failures exercise exactly the code paths that real traps,
-// exhausted budgets, cancellations, and internal bugs take.
+// solver-budget degradation, a mid-run stall, or a panic at the entry of a
+// pipeline stage. The plan is pure data — the engine interprets it at its
+// own failure points (the VM check hook, the budget checks, the stage
+// boundaries), so injected failures exercise exactly the code paths that
+// real traps, exhausted budgets, cancellations, slow runs, and internal
+// bugs take.
 //
 // Plans are deterministic by construction: the same plan applied to the
 // same inputs fails the same runs in the same way, regardless of worker
@@ -19,16 +20,30 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
-// Stage names the pipeline stage a fault targets; they match the engine's
-// stage boundaries.
+// Stage names the pipeline stage a fault targets; the first four match the
+// engine's stage boundaries, the last two its batch-only recovery scopes.
+type Stage string
+
 const (
-	StageExecute = "execute"
-	StageBuild   = "build"
-	StageSolve   = "solve"
-	StageReport  = "report"
+	StageExecute Stage = "execute"
+	StageBuild   Stage = "build"
+	StageSolve   Stage = "solve"
+	StageReport  Stage = "report"
+	StageFanOut  Stage = "fan-out"
+	StageMerge   Stage = "merge"
 )
+
+// String renders the stage for structured log lines; the zero value reads
+// as "none" so an absent stage field stays greppable.
+func (s Stage) String() string {
+	if s == "" {
+		return "none"
+	}
+	return string(s)
+}
 
 // Injection describes the failure one run should suffer. The zero value
 // injects nothing.
@@ -36,6 +51,17 @@ type Injection struct {
 	// TrapAtStep, when non-zero, makes the guest trap at (or within one
 	// check interval after) this step count, as if it had faulted.
 	TrapAtStep uint64
+
+	// StallAtStep, when non-zero, pauses the run for StallFor the first
+	// time the step count reaches it — a deterministic stand-in for a slow
+	// guest or a scheduling hiccup. The run then continues normally, so a
+	// stalled run that beats its deadline produces bit-identical results to
+	// an unstalled one; one that doesn't is canceled at the first poll
+	// after the stall. This is what makes timeout, deadline-admission, and
+	// backoff paths testable without wall-clock flakiness.
+	StallAtStep uint64
+	// StallFor is how long a StallAtStep injection pauses.
+	StallFor time.Duration
 
 	// ExhaustResource, when non-empty, reports this resource's budget as
 	// exhausted at the first poll (e.g. "output-bytes", "graph-nodes").
@@ -47,24 +73,26 @@ type Injection struct {
 
 	// PanicStage, when set to one of the Stage constants, panics at the
 	// entry of that stage, exercising the engine's recovery boundary.
-	PanicStage string
+	PanicStage Stage
 }
 
 // Active reports whether the injection does anything.
 func (inj Injection) Active() bool {
-	return inj.TrapAtStep != 0 || inj.ExhaustResource != "" || inj.ExhaustSolver || inj.PanicStage != ""
+	return inj.TrapAtStep != 0 || inj.StallAtStep != 0 || inj.ExhaustResource != "" || inj.ExhaustSolver || inj.PanicStage != ""
 }
 
 func (inj Injection) String() string {
 	switch {
 	case inj.TrapAtStep != 0:
 		return fmt.Sprintf("trap@step=%d", inj.TrapAtStep)
+	case inj.StallAtStep != 0:
+		return fmt.Sprintf("stall@step=%d for=%v", inj.StallAtStep, inj.StallFor)
 	case inj.ExhaustResource != "":
 		return "exhaust:" + inj.ExhaustResource
 	case inj.ExhaustSolver:
 		return "exhaust:solver-work"
 	case inj.PanicStage != "":
-		return "panic:" + inj.PanicStage
+		return "panic:" + inj.PanicStage.String()
 	}
 	return "none"
 }
@@ -118,12 +146,13 @@ func (p *Plan) Runs() []int {
 
 // Random derives a plan for n runs from a seed: each run independently
 // draws one of the failure modes (or, most often, none). The same seed
-// always yields the same plan, so chaos sweeps are reproducible.
+// always yields the same plan, so chaos sweeps are reproducible. Stalls are
+// kept to a few milliseconds so seeded soaks stay fast.
 func Random(seed int64, n int) *Plan {
 	rng := rand.New(rand.NewSource(seed))
 	p := NewPlan()
 	for i := 0; i < n; i++ {
-		switch rng.Intn(8) {
+		switch rng.Intn(10) {
 		case 0:
 			p.ForRun(i, Injection{TrapAtStep: uint64(1 + rng.Intn(5000))})
 		case 1:
@@ -131,8 +160,13 @@ func Random(seed int64, n int) *Plan {
 		case 2:
 			p.ForRun(i, Injection{ExhaustSolver: true})
 		case 3:
-			stages := []string{StageExecute, StageBuild, StageSolve, StageReport}
+			stages := []Stage{StageExecute, StageBuild, StageSolve, StageReport}
 			p.ForRun(i, Injection{PanicStage: stages[rng.Intn(len(stages))]})
+		case 4:
+			p.ForRun(i, Injection{
+				StallAtStep: uint64(1 + rng.Intn(2000)),
+				StallFor:    time.Duration(1+rng.Intn(3)) * time.Millisecond,
+			})
 		default:
 			// healthy run
 		}

@@ -3,6 +3,7 @@ package fault
 import (
 	"reflect"
 	"testing"
+	"time"
 )
 
 func TestNilAndZeroPlansInjectNothing(t *testing.T) {
@@ -54,6 +55,11 @@ func TestRandomCoversEveryFailureMode(t *testing.T) {
 		switch {
 		case inj.TrapAtStep != 0:
 			kinds["trap"] = true
+		case inj.StallAtStep != 0:
+			kinds["stall"] = true
+			if inj.StallFor <= 0 {
+				t.Fatalf("run %d: stall injection with no duration: %v", i, inj)
+			}
 		case inj.ExhaustResource != "":
 			kinds["budget"] = true
 		case inj.ExhaustSolver:
@@ -62,7 +68,7 @@ func TestRandomCoversEveryFailureMode(t *testing.T) {
 			kinds["panic"] = true
 		}
 	}
-	for _, k := range []string{"trap", "budget", "solver", "panic"} {
+	for _, k := range []string{"trap", "stall", "budget", "solver", "panic"} {
 		if !kinds[k] {
 			t.Fatalf("512 random injections never produced kind %q", k)
 		}
@@ -71,15 +77,25 @@ func TestRandomCoversEveryFailureMode(t *testing.T) {
 
 func TestInjectionString(t *testing.T) {
 	cases := map[string]Injection{
-		"none":                {},
-		"trap@step=9":         {TrapAtStep: 9},
-		"exhaust:graph-nodes": {ExhaustResource: "graph-nodes"},
-		"exhaust:solver-work": {ExhaustSolver: true},
-		"panic:solve":         {PanicStage: StageSolve},
+		"none":                 {},
+		"trap@step=9":          {TrapAtStep: 9},
+		"stall@step=7 for=2ms": {StallAtStep: 7, StallFor: 2 * time.Millisecond},
+		"exhaust:graph-nodes":  {ExhaustResource: "graph-nodes"},
+		"exhaust:solver-work":  {ExhaustSolver: true},
+		"panic:solve":          {PanicStage: StageSolve},
 	}
 	for want, inj := range cases {
 		if got := inj.String(); got != want {
 			t.Fatalf("String() = %q, want %q", got, want)
 		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if got := StageSolve.String(); got != "solve" {
+		t.Fatalf("StageSolve.String() = %q", got)
+	}
+	if got := Stage("").String(); got != "none" {
+		t.Fatalf(`Stage("").String() = %q, want "none"`, got)
 	}
 }

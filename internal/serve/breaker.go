@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerOpenError rejects a request because its program's circuit
+// breaker is not accepting traffic.
+type BreakerOpenError struct {
+	Program string
+	// State is "open" (cooling down) or "half-open" (a probe is already
+	// in flight).
+	State string
+	// Consecutive is the internal-failure streak that opened the breaker.
+	Consecutive int
+	// RetryAfter estimates when the next probe will be allowed.
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("serve: circuit breaker %s for %q after %d consecutive internal failures (retry in ~%v)",
+		e.State, e.Program, e.Consecutive, e.RetryAfter)
+}
+
+func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOpen }
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-program circuit breaker over consecutive ErrInternal
+// results: internal failures say the engine (not the input) is sick for
+// this program, so after threshold of them in a row the breaker opens and
+// rejects fast. After cooldown it lets exactly one probe through
+// (half-open); the probe's success closes it, another internal failure
+// reopens it, and any other outcome frees the probe slot for the next
+// request. Non-internal failures and successes reset the streak.
+type breaker struct {
+	name      string
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int // current consecutive-ErrInternal streak
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	opens    int64
+}
+
+// allow decides whether a request may proceed. In the open state it
+// transitions to half-open once the cooldown has elapsed, reserving the
+// caller as the probe.
+func (b *breaker) allow(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return &BreakerOpenError{Program: b.name, State: "open", Consecutive: b.consec, RetryAfter: wait}
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return &BreakerOpenError{Program: b.name, State: "half-open", Consecutive: b.consec, RetryAfter: b.cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// cancelProbe releases a reserved half-open probe that never ran (the
+// request was shed or canceled after allow), so the next request can
+// probe instead of waiting out another cooldown.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// onSuccess records a successful run: the streak resets and a non-closed
+// breaker closes, reporting the transition via onClose (called unlocked).
+func (b *breaker) onSuccess(onClose func(prev string)) {
+	b.mu.Lock()
+	prev := b.state
+	b.consec = 0
+	b.probing = false
+	b.state = breakerClosed
+	b.mu.Unlock()
+	if prev != breakerClosed && onClose != nil {
+		onClose(prev.String())
+	}
+}
+
+// onInternal records an ErrInternal result: the streak grows, and the
+// breaker opens when it reaches the threshold (or immediately on a failed
+// half-open probe), reporting the transition via onOpen (called unlocked).
+func (b *breaker) onInternal(now time.Time, onOpen func(consecutive int)) {
+	b.mu.Lock()
+	b.consec++
+	b.probing = false
+	opened := false
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consec >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.opens++
+		opened = true
+	}
+	consec := b.consec
+	b.mu.Unlock()
+	if opened && onOpen != nil {
+		onOpen(consec)
+	}
+}
+
+// onOther records a non-internal failure: it breaks the internal-failure
+// streak (the engine produced a typed, orderly failure, which is the
+// system working) and frees a half-open probe slot without closing.
+func (b *breaker) onOther() {
+	b.mu.Lock()
+	b.consec = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+type breakerSnap struct {
+	State       string
+	Consecutive int
+	Opens       int64
+}
+
+func (b *breaker) snapshot() breakerSnap {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerSnap{State: b.state.String(), Consecutive: b.consec, Opens: b.opens}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The breaker state machine under a fake clock: closed → open at the
+// threshold, open → half-open after the cooldown (one probe), probe
+// success → closed, probe failure → open again; non-internal outcomes
+// break the streak without closing a non-closed breaker.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{name: "p", threshold: 3, cooldown: time.Second}
+
+	// Internal failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(now); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		b.onInternal(now, nil)
+	}
+	if s := b.snapshot(); s.State != "closed" || s.Consecutive != 2 {
+		t.Fatalf("snapshot %+v, want closed/2", s)
+	}
+
+	// A success resets the streak.
+	if err := b.allow(now); err != nil {
+		t.Fatal(err)
+	}
+	b.onSuccess(nil)
+	if s := b.snapshot(); s.Consecutive != 0 {
+		t.Fatalf("success did not reset streak: %+v", s)
+	}
+
+	// Threshold consecutive internals open it.
+	opened := 0
+	for i := 0; i < 3; i++ {
+		if err := b.allow(now); err != nil {
+			t.Fatal(err)
+		}
+		b.onInternal(now, func(consec int) { opened = consec })
+	}
+	if opened != 3 {
+		t.Fatalf("onOpen consec = %d, want 3", opened)
+	}
+	err := b.allow(now.Add(time.Millisecond))
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+	var be *BreakerOpenError
+	if !errors.As(err, &be) || be.State != "open" || be.Program != "p" || be.RetryAfter <= 0 {
+		t.Fatalf("open error %+v", be)
+	}
+
+	// Cooldown elapsed: exactly one probe passes, others are rejected.
+	now = now.Add(2 * time.Second)
+	if err := b.allow(now); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if err := b.allow(now); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe allowed: %v", err)
+	}
+
+	// Probe success closes it and reports the transition.
+	closedFrom := ""
+	b.onSuccess(func(prev string) { closedFrom = prev })
+	if closedFrom != "half-open" {
+		t.Fatalf("onClose prev = %q, want half-open", closedFrom)
+	}
+	if err := b.allow(now); err != nil {
+		t.Fatalf("closed-after-probe breaker rejected: %v", err)
+	}
+	b.onSuccess(nil)
+
+	// Reopen, probe, and fail the probe: back to open immediately.
+	for i := 0; i < 3; i++ {
+		b.onInternal(now, nil)
+	}
+	now = now.Add(2 * time.Second)
+	if err := b.allow(now); err != nil {
+		t.Fatal(err)
+	}
+	b.onInternal(now, nil)
+	if s := b.snapshot(); s.State != "open" || s.Opens != 3 {
+		t.Fatalf("failed probe left %+v, want open/opens=3", s)
+	}
+
+	// A canceled probe frees the slot for the next request.
+	now = now.Add(2 * time.Second)
+	if err := b.allow(now); err != nil {
+		t.Fatal(err)
+	}
+	b.cancelProbe()
+	if err := b.allow(now); err != nil {
+		t.Fatalf("slot not freed after cancelProbe: %v", err)
+	}
+
+	// A typed, non-internal failure during half-open frees the probe slot
+	// without closing: the engine is orderly but not yet proven healthy.
+	b.onOther()
+	if s := b.snapshot(); s.State != "half-open" || s.Consecutive != 0 {
+		t.Fatalf("onOther left %+v, want half-open/0", s)
+	}
+	if err := b.allow(now); err != nil {
+		t.Fatalf("probe slot not freed by onOther: %v", err)
+	}
+}
+
+// The second open happens at the first internal failure of the streak
+// only via threshold; counting restarts from scratch after close.
+func TestBreakerThresholdRestartsAfterClose(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &breaker{name: "p", threshold: 2, cooldown: time.Second}
+	b.onInternal(now, nil)
+	b.onSuccess(nil)
+	b.onInternal(now, nil)
+	if s := b.snapshot(); s.State != "closed" {
+		t.Fatalf("opened below threshold: %+v", s)
+	}
+	b.onInternal(now, nil)
+	if s := b.snapshot(); s.State != "open" {
+		t.Fatalf("did not open at threshold: %+v", s)
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"flowcheck/internal/engine"
+)
+
+// AnalyzeRequest is the JSON body of POST /analyze. Secret and public
+// inputs come either as literal strings or base64 (for binary inputs);
+// the *_b64 field wins when both are set.
+type AnalyzeRequest struct {
+	Program   string `json:"program"`
+	Secret    string `json:"secret,omitempty"`
+	SecretB64 string `json:"secret_b64,omitempty"`
+	Public    string `json:"public,omitempty"`
+	PublicB64 string `json:"public_b64,omitempty"`
+
+	// TimeoutMS bounds the request end to end; the deadline also feeds
+	// the admission controller's shed decision.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Optional per-request budget overrides (0 = keep the program's).
+	// Setting any serves the request from a one-off analyzer.
+	MaxGraphNodes  int   `json:"max_graph_nodes,omitempty"`
+	MaxGraphEdges  int   `json:"max_graph_edges,omitempty"`
+	MaxOutputBytes int   `json:"max_output_bytes,omitempty"`
+	SolverBudget   int64 `json:"solver_budget,omitempty"`
+}
+
+// AnalyzeResponse is the JSON body of a served analysis.
+type AnalyzeResponse struct {
+	Program           string  `json:"program"`
+	Bits              int64   `json:"bits"`
+	TaintedOutputBits int64   `json:"tainted_output_bits"`
+	Degraded          bool    `json:"degraded"`
+	DegradedReason    string  `json:"degraded_reason,omitempty"`
+	Trapped           bool    `json:"trapped"`
+	Trap              string  `json:"trap,omitempty"`
+	Cut               string  `json:"cut,omitempty"`
+	Steps             uint64  `json:"steps"`
+	OutputBytes       int     `json:"output_bytes"`
+	Attempts          int     `json:"attempts"`
+	LatencyMS         float64 `json:"latency_ms"`
+}
+
+// ErrorResponse is the JSON body of a failed request; Kind is the stable
+// machine-readable failure class.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /analyze  run one analysis (AnalyzeRequest → AnalyzeResponse)
+//	GET  /healthz  liveness + Stats JSON (always 200 while the process runs)
+//	GET  /readyz   admission readiness (503 once draining)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	secret, err := pickInput(req.SecretB64, req.Secret)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("secret: %w", err))
+		return
+	}
+	public, err := pickInput(req.PublicB64, req.Public)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Errorf("public: %w", err))
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	sreq := Request{
+		Program: req.Program,
+		Inputs:  engine.Inputs{Secret: secret, Public: public},
+	}
+	if req.MaxGraphNodes > 0 || req.MaxGraphEdges > 0 || req.MaxOutputBytes > 0 || req.SolverBudget > 0 {
+		sreq.Budget = &engine.Budget{
+			MaxGraphNodes:  req.MaxGraphNodes,
+			MaxGraphEdges:  req.MaxGraphEdges,
+			MaxOutputBytes: req.MaxOutputBytes,
+			SolverWork:     req.SolverBudget,
+		}
+	}
+
+	t0 := s.opts.Now()
+	resp, err := s.Analyze(ctx, sreq)
+	if err != nil {
+		status, kind := httpStatus(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, kind, err)
+		return
+	}
+	res := resp.Result
+	out := AnalyzeResponse{
+		Program:           resp.Program,
+		Bits:              res.Bits,
+		TaintedOutputBits: res.TaintedOutputBits,
+		Degraded:          res.Degraded,
+		DegradedReason:    res.DegradedReason,
+		Trapped:           res.Trap != nil,
+		Steps:             res.Steps,
+		OutputBytes:       len(res.Output),
+		Attempts:          resp.Attempts,
+		LatencyMS:         float64(s.opts.Now().Sub(t0).Microseconds()) / 1000,
+	}
+	if res.Trap != nil {
+		out.Trap = res.Trap.Error()
+	}
+	if res.Cut != nil {
+		out.Cut = res.CutString()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// httpStatus maps the service and engine failure taxonomies onto HTTP:
+// load shedding and breaking are 503 (retry elsewhere/later), deadlines
+// 504, resource budgets 422 (the request as posed cannot be served),
+// internal failures 500.
+func httpStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrOverload):
+		return http.StatusServiceUnavailable, "overload"
+	case errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable, "breaker-open"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrUnknownProgram):
+		return http.StatusNotFound, "unknown-program"
+	case errors.Is(err, engine.ErrCanceled):
+		return http.StatusGatewayTimeout, "canceled"
+	case errors.Is(err, engine.ErrBudget):
+		return http.StatusUnprocessableEntity, "budget"
+	case errors.Is(err, engine.ErrInternal):
+		return http.StatusInternalServerError, "internal"
+	}
+	return http.StatusInternalServerError, "error"
+}
+
+func pickInput(b64, lit string) ([]byte, error) {
+	if b64 != "" {
+		return base64.StdEncoding.DecodeString(b64)
+	}
+	if lit != "" {
+		return []byte(lit), nil
+	}
+	return nil, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+}
