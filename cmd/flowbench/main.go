@@ -45,6 +45,7 @@ var experimentsByName = []struct {
 	{"interp", "§10.3: analyzing interpreted code", runInterp},
 	{"batch", "engine: parallel batch vs serial multi-run", runBatch},
 	{"degrade", "engine: solver-budget degradation tradeoff", runDegrade},
+	{"cache", "engine: content-addressed cache cold/incremental/warm", runCache},
 	{"static", "static analysis: region inference + cross-check", runStatic},
 }
 
@@ -63,6 +64,11 @@ type timingRecord struct {
 	PeakLiveEdges int     `json:"peak_live_edges,omitempty"`
 	Passes        int     `json:"compaction_passes,omitempty"`
 	EdgeRatio     float64 `json:"edge_ratio,omitempty"`
+	// The cache experiment's per-run latencies and reuse summary.
+	ColdMS        float64 `json:"cold_ms,omitempty"`
+	IncrementalMS float64 `json:"incremental_ms,omitempty"`
+	WarmMS        float64 `json:"warm_ms,omitempty"`
+	HitRate       float64 `json:"hit_rate,omitempty"`
 }
 
 // staticTotals carries the static experiment's counts from its run
@@ -73,6 +79,12 @@ var staticTotals struct{ regions, findings int }
 var compactTotals struct {
 	totalEdges, peakLiveEdges, passes int
 	ratio                             float64
+}
+
+// cacheTotals carries the cache experiment's per-run latencies (ms) and
+// result hit rate.
+var cacheTotals struct {
+	coldMS, incMS, warmMS, hitRate float64
 }
 
 func main() {
@@ -124,6 +136,10 @@ func main() {
 			if e.name == "compact" {
 				rec.TotalEdges, rec.PeakLiveEdges = compactTotals.totalEdges, compactTotals.peakLiveEdges
 				rec.Passes, rec.EdgeRatio = compactTotals.passes, compactTotals.ratio
+			}
+			if e.name == "cache" {
+				rec.ColdMS, rec.IncrementalMS = cacheTotals.coldMS, cacheTotals.incMS
+				rec.WarmMS, rec.HitRate = cacheTotals.warmMS, cacheTotals.hitRate
 			}
 			timings = append(timings, rec)
 			fmt.Println()
@@ -299,6 +315,28 @@ func runDegrade(sizes []int) {
 		fmt.Printf("  %13d  %8d  %8v  %8s\n", p.Budget, p.Bits, p.Degraded, p.Solve.Round(time.Microsecond))
 	}
 	fmt.Println("(every budget yields a sound bound; exhausted solves fall back to the trivial cut)")
+}
+
+func runCache(sizes []int) {
+	n := 32
+	if len(sizes) > 0 {
+		n = sizes[0]
+	}
+	r := experiments.CacheStudy(n)
+	perRun := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / 1000 / float64(r.Inputs)
+	}
+	fmt.Printf("%d distinct inputs per phase\n", r.Inputs)
+	fmt.Printf("  %-12s %-12s %10s\n", "phase", "disposition", "per-run")
+	fmt.Printf("  %-12s %-12s %9.3fms\n", "cold", r.ColdDisp, perRun(r.Cold))
+	fmt.Printf("  %-12s %-12s %9.3fms\n", "incremental", r.IncDisp, perRun(r.Incremental))
+	fmt.Printf("  %-12s %-12s %9.3fms\n", "warm", r.WarmDisp, perRun(r.Warm))
+	fmt.Printf("result hit ratio %.3f, evictions %d; cached == uncached: %v\n",
+		r.HitRatio, r.Evictions, r.BitsAgree)
+	fmt.Println("(cold runs the full pipeline; incremental reuses static + graph skeleton;")
+	fmt.Println(" warm answers from the cached result without touching a session)")
+	cacheTotals.coldMS, cacheTotals.incMS = perRun(r.Cold), perRun(r.Incremental)
+	cacheTotals.warmMS, cacheTotals.hitRate = perRun(r.Warm), r.HitRatio
 }
 
 func runCompaction(sizes []int) {

@@ -28,7 +28,6 @@ import (
 	"flowcheck/internal/core"
 	"flowcheck/internal/guest"
 	"flowcheck/internal/infer"
-	"flowcheck/internal/lang"
 	"flowcheck/internal/lang/parser"
 	"flowcheck/internal/maxflow"
 	"flowcheck/internal/taint"
@@ -136,7 +135,7 @@ func (f *inputFlags) load(fs *flag.FlagSet) (*vm.Program, core.Inputs, error) {
 	if err != nil {
 		return nil, in, err
 	}
-	prog, err := lang.Compile(fs.Arg(0), string(src))
+	prog, err := core.CompileCached(fs.Arg(0), string(src))
 	return prog, in, err
 }
 
@@ -204,6 +203,7 @@ func cmdRun(args []string) error {
 	secretDir := fs.String("secret-dir", "", "batch mode: one run per file in this directory (sorted), each file the run's secret input")
 	workers := fs.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 	stages := fs.Bool("stages", false, "print per-stage pipeline timings")
+	useCache := fs.Bool("cache", false, "run through a content-addressed stage cache and report the disposition (repeat -runs are served from cache)")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (exit code 4)")
 	maxSteps := fs.Uint64("max-steps", 0, "guest step limit (0 = default; exhaustion is a typed trap, exit code 3)")
 	maxGraphNodes := fs.Int("max-graph-nodes", 0, "fail a run whose flow graph exceeds this many nodes (0 = unlimited)")
@@ -232,6 +232,11 @@ func cmdRun(args []string) error {
 	}
 	if *ek {
 		cfg.Algorithm = maxflow.EdmondsKarp
+	}
+	var cache *core.Cache
+	if *useCache {
+		cache = core.NewCache(core.CacheOptions{})
+		cfg.Cache = cache
 	}
 	runCtx := context.Background()
 	if *timeout > 0 {
@@ -307,6 +312,15 @@ func cmdRun(args []string) error {
 	}
 	if *stages {
 		fmt.Printf("stages: %v\n", res.Stages)
+	}
+	if cache != nil {
+		if res.Cache.Disposition != "" {
+			fmt.Printf("cache: %s (key %s)\n", res.Cache.Disposition, res.Cache.Key)
+		}
+		st := cache.Stats()
+		tot := st.Totals()
+		fmt.Printf("cache: %d hits, %d misses, %d evictions; %d entries, %d bytes of %d\n",
+			tot.Hits+tot.Coalesced, tot.Misses, tot.Evictions, st.Entries, st.Bytes, st.MaxBytes)
 	}
 	if len(res.Snapshots) > 0 {
 		fmt.Println("intermediate flows (__flownote):")
@@ -457,7 +471,7 @@ func cmdDisasm(args []string) error {
 		if err != nil {
 			return err
 		}
-		prog, err = lang.Compile(fs.Arg(0), string(src))
+		prog, err = core.CompileCached(fs.Arg(0), string(src))
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,13 @@
 //	POST /analyze  {"program":"sshauth","secret":"hunter2...","timeout_ms":500}
 //	GET  /healthz  service statistics (breakers, pools, queue, EWMA latency)
 //	GET  /readyz   200 while admitting; 503 once draining
+//	GET  /statz    cache observability: hit/miss/evict/bytes, per-stage hit ratios
+//
+// The daemon runs a shared content-addressed stage cache (-cache-bytes,
+// default 64 MiB; 0 disables): repeat requests are answered from the
+// cache before admission queuing (X-Flow-Cache: hit, attempts 0) and
+// input-only changes reuse the program's static analysis and collapsed
+// graph skeleton (X-Flow-Cache: incremental).
 //
 // Every built-in case-study guest (flowcheck guests) is registered as a
 // program; -src FILE.mc registers additional MiniC programs by file
@@ -69,6 +76,7 @@ func run() error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before a half-open probe")
 	retryDegraded := fs.Bool("retry-degraded", false, "retry solver-degraded results with the solver budget doubled")
 	highWater := fs.Int("recycle-high-water", 1<<20, "recycle sessions whose arena exceeded this many peak live edges (0 = never)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "shared content-addressed stage cache budget in bytes (0 = disable caching)")
 	exact := fs.Bool("exact", false, "exact-mode analysis (per-operation graphs)")
 	maxSteps := fs.Uint64("max-steps", 0, "guest step limit (0 = engine default)")
 	maxOutputBytes := fs.Int("max-output-bytes", 0, "per-run output budget in bytes (0 = unlimited)")
@@ -98,6 +106,7 @@ func run() error {
 		BreakerCooldown:  *breakerCooldown,
 		RetryDegraded:    *retryDegraded,
 		SessionHighWater: *highWater,
+		CacheBytes:       *cacheBytes,
 		Logger:           log,
 	})
 

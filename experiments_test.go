@@ -288,6 +288,30 @@ func TestE2Figure3Incompressible(t *testing.T) {
 	}
 }
 
+// E19 — content-addressed caching: the three serving regimes carry their
+// dispositions, warm hits are far cheaper than cold runs, and cached
+// bounds are bit-identical to uncached ones.
+func TestE19Cache(t *testing.T) {
+	r := experiments.CacheStudy(6)
+	if r.ColdDisp != "miss" || r.IncDisp != "incremental" || r.WarmDisp != "hit" {
+		t.Fatalf("dispositions = %s/%s/%s, want miss/incremental/hit", r.ColdDisp, r.IncDisp, r.WarmDisp)
+	}
+	if !r.BitsAgree {
+		t.Error("cached bounds differ from uncached reruns")
+	}
+	if r.Evictions != 0 {
+		t.Errorf("result evictions = %d, want 0 at this budget", r.Evictions)
+	}
+	if r.HitRatio <= 0 {
+		t.Errorf("result hit ratio = %v, want > 0", r.HitRatio)
+	}
+	// Warm hits skip the pipeline entirely; 2x is a very conservative
+	// floor for what is a ~25x gap on an idle machine.
+	if r.Warm*2 >= r.Cold {
+		t.Errorf("warm phase %v not clearly cheaper than cold %v", r.Warm, r.Cold)
+	}
+}
+
 // E18 — online compaction (§5.1/§5.2): exact-mode compress with
 // Config.Compact holds peak live edges at least 5x below the edges
 // emitted, without moving the bound (Compaction panics on any deviation

@@ -1,0 +1,96 @@
+package cachekey
+
+import (
+	"testing"
+
+	"flowcheck/internal/lang"
+)
+
+const srcA = `
+int main() {
+    char buf[1];
+    read_secret(buf, 1);
+    if (buf[0] > 10) { putc('y'); } else { putc('n'); }
+    return 0;
+}
+`
+
+const srcB = `
+int main() {
+    char buf[1];
+    read_secret(buf, 1);
+    if (buf[0] > 11) { putc('y'); } else { putc('n'); }
+    return 0;
+}
+`
+
+func TestProgramKeyDeterministic(t *testing.T) {
+	p1, err := lang.Compile("a.mc", srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lang.Compile("a.mc", srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Program(p1) != Program(p2) {
+		t.Fatalf("identical source compiled twice produced different program keys")
+	}
+	if Program(p1) != Program(p1) {
+		t.Fatalf("Program key is not deterministic for one value")
+	}
+}
+
+func TestProgramKeySensitivity(t *testing.T) {
+	p1, err := lang.Compile("a.mc", srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lang.Compile("a.mc", srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Program(p1) == Program(p2) {
+		t.Fatalf("different programs share a program key")
+	}
+	// Same logic, different filename: site tables differ, so diagnostics
+	// rendered from cached results would differ — keys must too.
+	p3, err := lang.Compile("b.mc", srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Program(p1) == Program(p3) {
+		t.Fatalf("programs with different site files share a program key")
+	}
+}
+
+func TestInputsKeyFieldBoundaries(t *testing.T) {
+	// Length prefixes must keep adjacent fields from aliasing.
+	if Inputs([]byte("ab"), []byte("c")) == Inputs([]byte("a"), []byte("bc")) {
+		t.Fatalf("inputs key aliases across the secret/public boundary")
+	}
+	if Inputs(nil, nil) != Inputs([]byte{}, []byte{}) {
+		t.Fatalf("nil and empty inputs should share a key")
+	}
+	if Inputs([]byte{1}, nil) == Inputs(nil, []byte{1}) {
+		t.Fatalf("secret and public bytes must not be interchangeable")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	a := New("kind-a/v1").Int(7).Sum()
+	b := New("kind-b/v1").Int(7).Sum()
+	if a == b {
+		t.Fatalf("identical payloads under different domains share a key")
+	}
+	if Source("f.mc", srcA) == Inputs([]byte("f.mc"), []byte(srcA)) {
+		t.Fatalf("source and inputs domains collide")
+	}
+}
+
+func TestShortIsPrefix(t *testing.T) {
+	k := New("x/v1").Str("payload").Sum()
+	if len(k.Short()) != 12 || k.String()[:12] != k.Short() {
+		t.Fatalf("Short() = %q is not the 12-hex-char prefix of %q", k.Short(), k.String())
+	}
+}

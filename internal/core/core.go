@@ -23,6 +23,7 @@ import (
 
 	"flowcheck/internal/engine"
 	"flowcheck/internal/flowgraph"
+	"flowcheck/internal/stagecache"
 	"flowcheck/internal/static"
 	"flowcheck/internal/vm"
 )
@@ -67,7 +68,56 @@ type (
 	Finding = static.Finding
 	// StaticStats summarizes the static pre-pass behind Config.Lint.
 	StaticStats = static.Stats
+	// Cache is the content-addressed stage cache (Config.Cache): full
+	// result hits, incremental re-solves on input-only changes, and shared
+	// compile/static artifacts. See internal/stagecache.
+	Cache = stagecache.Cache
+	// CacheOptions configures a Cache (byte budget, shard count).
+	CacheOptions = stagecache.Options
+	// CacheStats is a cache snapshot with per-kind hit/miss/evict counters.
+	CacheStats = stagecache.Stats
+	// CacheKindStats is one kind's counter set within CacheStats.
+	CacheKindStats = stagecache.KindStats
+	// CacheTrace is a result's cache provenance (Result.Cache).
+	CacheTrace = engine.CacheTrace
 )
+
+// Cache dispositions recorded in Result.Cache.Disposition.
+const (
+	// CacheBypass marks a run that was not cacheable (fault injection).
+	CacheBypass = engine.CacheBypass
+	// CacheMiss marks a run that computed and stored its result.
+	CacheMiss = engine.CacheMiss
+	// CacheHit marks a result served entirely from the cache.
+	CacheHit = engine.CacheHit
+	// CacheIncremental marks a computed run that reused the cached graph
+	// skeleton (input-only change).
+	CacheIncremental = engine.CacheIncremental
+)
+
+// Cache stage kinds: the per-stage counter names in CacheStats.Kinds.
+const (
+	// CacheKindCompile counts source-to-bytecode compilations (global cache).
+	CacheKindCompile = engine.KindCompile
+	// CacheKindStatic counts static pre-pass analyses (global cache).
+	CacheKindStatic = engine.KindStatic
+	// CacheKindSkeleton counts collapsed graph skeletons (Config.Cache).
+	CacheKindSkeleton = engine.KindSkeleton
+	// CacheKindResult counts full analysis results (Config.Cache).
+	CacheKindResult = engine.KindResult
+)
+
+// NewCache creates a content-addressed stage cache to share across
+// analyzers via Config.Cache.
+func NewCache(opts CacheOptions) *Cache { return stagecache.New(opts) }
+
+// GlobalCacheStats snapshots the process-global compile/static cache.
+func GlobalCacheStats() CacheStats { return engine.GlobalCacheStats() }
+
+// CompileCached compiles MiniC source through the global compile cache.
+func CompileCached(filename, src string) (*vm.Program, error) {
+	return engine.CompileCached(filename, src)
+}
 
 // The engine's failure taxonomy: every analysis failure matches exactly
 // one of these via errors.Is. See internal/engine/errors.go.

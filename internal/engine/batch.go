@@ -139,7 +139,7 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 
 	perRun := make([]*Result, len(inputs))
 	perErr := a.fanOut(len(inputs), func(s *session, i int) error {
-		r, err := a.runStages(ctx, s, a.sessionTracker(s), inputs[i], a.cfg.Fault.Run(i))
+		r, err := a.runStages(ctx, s, a.sessionTracker(s), inputs[i], a.cfg.Fault.Run(i), true)
 		perRun[i] = r
 		return err
 	})
@@ -271,7 +271,9 @@ func (a *Analyzer) AnalyzeClassesContext(ctx context.Context, in Inputs, classes
 		c := classes[i]
 		opts := a.taintOptions()
 		opts.SecretRanges = []taint.StreamRange{{Off: c.Off, Len: c.Len}}
-		res, err := a.runStages(ctx, s, taint.New(opts), in, a.cfg.Fault.Run(i))
+		// Per-class secret rangings change the graph topology, so class
+		// runs never touch the skeleton cache.
+		res, err := a.runStages(ctx, s, taint.New(opts), in, a.cfg.Fault.Run(i), false)
 		if err != nil {
 			out[i] = ClassResult{Class: c, Err: err}
 			return err

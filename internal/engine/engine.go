@@ -30,10 +30,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flowcheck/internal/cachekey"
 	"flowcheck/internal/fault"
 	"flowcheck/internal/flowgraph"
-	"flowcheck/internal/lang"
 	"flowcheck/internal/maxflow"
+	"flowcheck/internal/stagecache"
 	"flowcheck/internal/static"
 	"flowcheck/internal/taint"
 	"flowcheck/internal/vm"
@@ -78,11 +79,21 @@ type Config struct {
 	SessionHighWater int
 	// Lint enables the static pre-pass and the static/dynamic
 	// cross-check: CFGs, postdominator-based enclosure regions, and
-	// enclosure-span matching are computed once per Analyzer
-	// (internal/static), a probe records the run's tainted branches and
-	// region events, and the violations land on Result.Lint. Adds the
-	// Static stage duration to Result.Stages.
+	// enclosure-span matching are computed once per program process-wide
+	// (internal/static, via the global stage cache), a probe records the
+	// run's tainted branches and region events, and the violations land on
+	// Result.Lint. Adds the Static stage duration to Result.Stages on the
+	// run that actually paid for the pass.
 	Lint bool
+	// Cache, when non-nil, content-addresses the pipeline: single-run
+	// results are keyed by (program, config, inputs) and full hits are
+	// returned without touching a session, while the collapsed-graph
+	// skeleton is keyed by (program, config) so input-only changes re-run
+	// only Execute plus a capacity re-solve. Result.Cache records each
+	// run's disposition. Nil disables result/skeleton caching; the
+	// program-keyed compile and static stages always share the process
+	// global cache regardless. See internal/engine/cache.go.
+	Cache *stagecache.Cache
 }
 
 // Inputs is one execution's input pair: the secret input whose disclosure
@@ -150,11 +161,16 @@ type Analyzer struct {
 	created  atomic.Int64
 	recycled atomic.Int64
 
-	// Static analysis is a pure function of the (immutable) program, so it
-	// is computed at most once per Analyzer and shared by every run.
-	staticMu  sync.Mutex
-	static    *static.Analysis
-	staticDur time.Duration
+	// Static analysis is a pure function of the (immutable) program; it is
+	// fetched at most once per Analyzer from the process-global program
+	// cache, so N Analyzers over one program pay for one pass total.
+	staticMu sync.Mutex
+	static   *static.Analysis
+
+	// Memoized content-address keys (internal/engine/cache.go).
+	keyOnce sync.Once
+	progKey cachekey.Key
+	cfgKey  cachekey.Key
 }
 
 // New creates an Analyzer for prog under cfg.
@@ -181,22 +197,32 @@ func (a *Analyzer) Program() *vm.Program { return a.prog }
 // on first call. It is available independently of Config.Lint (cmd/flowlint
 // uses it without running anything).
 func (a *Analyzer) Static() *static.Analysis {
-	sa, _ := a.staticAnalysis()
+	sa, _, _ := a.staticAnalysis()
 	return sa
 }
 
-// staticAnalysis returns the cached analysis plus the time spent by THIS
-// call (zero on cache hits), so stage accounting charges the pass once.
-func (a *Analyzer) staticAnalysis() (*static.Analysis, time.Duration) {
+// staticAnalysis returns the static analysis plus the time spent by THIS
+// call (zero when it was already available) and whether it was served
+// from the process-global program cache. The analysis is keyed by program
+// content, not by Analyzer: every engine and session analyzing the same
+// bytecode shares one *static.Analysis, and the Static stage cost is
+// charged to the one caller fleet-wide that actually ran the pass.
+func (a *Analyzer) staticAnalysis() (*static.Analysis, time.Duration, bool) {
 	a.staticMu.Lock()
 	defer a.staticMu.Unlock()
-	if a.static == nil {
-		t0 := time.Now()
-		a.static = static.Analyze(a.prog)
-		a.staticDur = time.Since(t0)
-		return a.static, a.staticDur
+	if a.static != nil {
+		return a.static, 0, true
 	}
-	return a.static, 0
+	t0 := time.Now()
+	v, hit, _ := globalCache.Do(KindStatic, a.staticKey(), func() (any, int64, error) {
+		sa := static.Analyze(a.prog)
+		return sa, estimateStaticBytes(sa), nil
+	})
+	a.static = v.(*static.Analysis)
+	if hit {
+		return a.static, 0, true
+	}
+	return a.static, time.Since(t0), false
 }
 
 // Config returns the analyzer's configuration.
@@ -306,7 +332,10 @@ func trivialCutBits(g *flowgraph.Graph) int64 {
 // (ErrCanceled, ErrBudget, ErrInternal). A panic anywhere in the stages is
 // recovered here, at the stage boundary, so it cannot kill the process or
 // leak the pooled session.
-func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker, in Inputs, inj fault.Injection) (res *Result, err error) {
+// reuse permits the Solve stage to go through the skeleton cache; callers
+// whose graph topology changes run to run (accumulating trackers,
+// per-class secret rangings) pass false.
+func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker, in Inputs, inj fault.Injection, reuse bool) (res *Result, err error) {
 	stage := fault.StageExecute
 	defer func() {
 		if r := recover(); r != nil {
@@ -319,12 +348,13 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 	}()
 	var st StageStats
 
-	// Optional static pre-pass: computed once per Analyzer, then each run
-	// just installs a probe so the cross-check can compare this run's
-	// dynamic events against the cached regions and spans.
+	// Optional static pre-pass: fetched once per program process-wide,
+	// then each run just installs a probe so the cross-check can compare
+	// this run's dynamic events against the cached regions and spans.
 	var sa *static.Analysis
+	staticHit := false
 	if a.cfg.Lint {
-		sa, st.Static = a.staticAnalysis()
+		sa, st.Static, staticHit = a.staticAnalysis()
 		if s.rec == nil {
 			s.rec = static.NewRecorder()
 		} else {
@@ -382,11 +412,12 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 	var flow *maxflow.Result
 	var cut *maxflow.Cut
 	degradedReason := ""
+	skelHit := false
 	if inj.ExhaustSolver {
 		degradedReason = "injected solver-work exhaustion"
 	} else {
 		var exhausted bool
-		flow, exhausted = s.solver.SolveBudgeted(g, a.cfg.Budget.SolverWork)
+		flow, exhausted, skelHit = a.solveWithCache(s.solver, g, reuse)
 		if exhausted {
 			// Degrade to the trivial-cut bound instead of failing; see
 			// trivialCutBits for why the partial flow itself is unusable.
@@ -430,6 +461,7 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 		Mem:               tr.MemStats(),
 		Lint:              lint,
 		StaticStats:       staticStats,
+		Cache:             CacheTrace{StaticHit: staticHit, SkeletonHit: skelHit},
 		prog:              a.prog,
 	}
 	st.Report = time.Since(t3)
@@ -448,10 +480,53 @@ func (a *Analyzer) Analyze(in Inputs) (*Result, error) {
 // are polled between pipeline stages and, during execution, every
 // Budget.CheckEvery guest steps, so a stuck guest or an impatient caller
 // aborts mid-flight with ErrCanceled.
+//
+// With Config.Cache set, the run is content-addressed: a repeat of a
+// previously analyzed (program, config, inputs) triple returns the cached
+// Result without drawing a session or running any stage (Result.Cache
+// reports "hit", Stages only the lookup time), concurrent misses on one
+// key are collapsed to a single computation, and a miss that reuses the
+// cached graph skeleton reports "incremental". Errors are never cached.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, in Inputs) (*Result, error) {
+	if !a.cacheable() {
+		res, err := a.analyzeDirect(ctx, in)
+		if err == nil && a.cfg.Cache != nil {
+			res.Cache.Disposition = CacheBypass
+		}
+		return res, err
+	}
+	key := a.resultKey(in)
+	t0 := time.Now()
+	v, hit, err := a.cfg.Cache.Do(KindResult, key, func() (any, int64, error) {
+		res, err := a.analyzeDirect(ctx, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		res.Cache.Key = key.Short()
+		if res.Cache.SkeletonHit {
+			res.Cache.Disposition = CacheIncremental
+		} else {
+			res.Cache.Disposition = CacheMiss
+		}
+		return res, estimateResultBytes(res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*Result)
+	if hit {
+		// Served from the cache (or coalesced onto another caller's
+		// computation): restamp provenance on a copy of the shared value.
+		return stampCacheHit(res, time.Since(t0), key), nil
+	}
+	return res, nil
+}
+
+// analyzeDirect runs the pipeline unconditionally on a pooled session.
+func (a *Analyzer) analyzeDirect(ctx context.Context, in Inputs) (*Result, error) {
 	s := a.acquire()
 	defer a.release(s)
-	return a.runStages(ctx, s, a.sessionTracker(s), in, a.cfg.Fault.Run(0))
+	return a.runStages(ctx, s, a.sessionTracker(s), in, a.cfg.Fault.Run(0), true)
 }
 
 func (a *Analyzer) sessionTracker(s *session) *taint.Tracker {
@@ -505,7 +580,9 @@ func (a *Analyzer) AnalyzeMultiContext(ctx context.Context, inputs []Inputs) (*R
 		if i > 0 {
 			tr.Reset()
 		}
-		r, err := a.runStages(ctx, s, tr, in, a.cfg.Fault.Run(i))
+		// Only run 0's graph has the repeatable single-run topology; later
+		// runs accumulate, so they skip the skeleton cache.
+		r, err := a.runStages(ctx, s, tr, in, a.cfg.Fault.Run(i), i == 0)
 		if err != nil {
 			return nil, fmt.Errorf("engine: run %d: %w", i, err)
 		}
@@ -518,9 +595,10 @@ func (a *Analyzer) AnalyzeMultiContext(ctx context.Context, inputs []Inputs) (*R
 	return res, nil
 }
 
-// AnalyzeSource compiles MiniC source and analyzes one execution.
+// AnalyzeSource compiles MiniC source (through the global compile cache)
+// and analyzes one execution.
 func AnalyzeSource(filename, src string, in Inputs, cfg Config) (*Result, error) {
-	prog, err := lang.Compile(filename, src)
+	prog, err := CompileCached(filename, src)
 	if err != nil {
 		return nil, err
 	}

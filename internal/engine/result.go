@@ -70,6 +70,12 @@ type Result struct {
 	// parallel batch they exceed Total, which is wall time).
 	Stages StageStats
 
+	// Cache records the run's cache provenance when Config.Cache is set:
+	// the disposition (hit/miss/incremental/bypass) plus which shared
+	// artifacts (static analysis, graph skeleton) were reused. The zero
+	// value means the run was not content-addressed.
+	Cache CacheTrace
+
 	prog *vm.Program
 }
 
@@ -115,6 +121,7 @@ func summarize(run int, r *Result) RunSummary {
 // stage. Multi-run results sum stages across runs; Merge covers the offline
 // §3.2 graph merge (batch only) and Solve includes the joint solve.
 type StageStats struct {
+	Lookup  time.Duration // cache lookup that served the result (full hits: the only nonzero stage)
 	Static  time.Duration // one-time static pre-pass (Config.Lint; charged to the run that computed it)
 	Execute time.Duration // VM run with tracker attached
 	Build   time.Duration // tracker state -> flow network
@@ -125,6 +132,7 @@ type StageStats struct {
 }
 
 func (st *StageStats) add(o StageStats) {
+	st.Lookup += o.Lookup
 	st.Static += o.Static
 	st.Execute += o.Execute
 	st.Build += o.Build
@@ -134,8 +142,20 @@ func (st *StageStats) add(o StageStats) {
 	st.Total += o.Total
 }
 
+// Work reports the pipeline time excluding cache lookups — zero exactly
+// when the result was served entirely from the cache.
+func (st StageStats) Work() time.Duration {
+	return st.Static + st.Execute + st.Build + st.Solve + st.Report + st.Merge
+}
+
 func (st StageStats) String() string {
+	if st.Work() == 0 && st.Lookup > 0 {
+		return fmt.Sprintf("lookup %v, total %v", st.Lookup, st.Total)
+	}
 	s := fmt.Sprintf("execute %v, build %v, solve %v, report %v", st.Execute, st.Build, st.Solve, st.Report)
+	if st.Lookup > 0 {
+		s = fmt.Sprintf("lookup %v, ", st.Lookup) + s
+	}
 	if st.Static > 0 {
 		s = fmt.Sprintf("static %v, ", st.Static) + s
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flowcheck/internal/engine"
+	"flowcheck/internal/stagecache"
 )
 
 // AnalyzeRequest is the JSON body of POST /analyze. Secret and public
@@ -48,6 +49,11 @@ type AnalyzeResponse struct {
 	OutputBytes       int     `json:"output_bytes"`
 	Attempts          int     `json:"attempts"`
 	LatencyMS         float64 `json:"latency_ms"`
+	// Cache is the request's cache disposition ("hit", "miss",
+	// "incremental", "bypass"; empty when caching is disabled). Also
+	// exposed as the X-Flow-Cache response header. Attempts is 0 for
+	// fast-path hits: the request never entered admission.
+	Cache string `json:"cache,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a failed request; Kind is the stable
@@ -62,11 +68,13 @@ type ErrorResponse struct {
 //	POST /analyze  run one analysis (AnalyzeRequest → AnalyzeResponse)
 //	GET  /healthz  liveness + Stats JSON (always 200 while the process runs)
 //	GET  /readyz   admission readiness (503 once draining)
+//	GET  /statz    cache observability: hit/miss/evict/bytes per kind
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
 }
 
@@ -135,11 +143,52 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if res.Cut != nil {
 		out.Cut = res.CutString()
 	}
+	if res.Cache.Disposition != "" {
+		out.Cache = res.Cache.Disposition
+		w.Header().Set("X-Flow-Cache", res.Cache.Disposition)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statzCache is one cache's /statz rendering: the raw snapshot plus the
+// derived per-kind hit ratios.
+type statzCache struct {
+	stagecache.Stats
+	HitRatios map[string]float64 `json:"hit_ratios"`
+}
+
+func renderStatz(st stagecache.Stats) statzCache {
+	out := statzCache{Stats: st, HitRatios: map[string]float64{}}
+	for name, ks := range st.Kinds {
+		out.HitRatios[name] = ks.HitRatio()
+	}
+	return out
+}
+
+// handleStatz serves cache observability: whether the shared cache is on,
+// how many requests the warm fast path answered, and hit/miss/evict/bytes
+// counters with per-stage hit ratios for both the service cache
+// (result/skeleton) and the process-global cache (compile/static).
+func (s *Service) handleStatz(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		CacheEnabled  bool        `json:"cache_enabled"`
+		CacheFastPath int64       `json:"cache_fast_path"`
+		Cache         *statzCache `json:"cache,omitempty"`
+		GlobalCache   statzCache  `json:"global_cache"`
+	}{
+		CacheEnabled:  s.cache != nil,
+		CacheFastPath: s.cacheFast.Load(),
+		GlobalCache:   renderStatz(engine.GlobalCacheStats()),
+	}
+	if s.cache != nil {
+		sc := renderStatz(s.cache.Stats())
+		resp.Cache = &sc
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {

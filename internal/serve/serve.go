@@ -44,6 +44,7 @@ import (
 
 	"flowcheck/internal/engine"
 	"flowcheck/internal/fault"
+	"flowcheck/internal/stagecache"
 	"flowcheck/internal/vm"
 )
 
@@ -117,6 +118,15 @@ type Options struct {
 	// exceeded this many peak live edges (engine.Config.SessionHighWater);
 	// applied to registered programs that do not set their own.
 	SessionHighWater int
+
+	// CacheBytes, when positive, gives the service a shared
+	// content-addressed stage cache of that byte budget, injected into
+	// every registered program that does not bring its own
+	// (engine.Config.Cache). Warm repeat requests are then answered from
+	// the cache before admission queuing — no worker slot, no session —
+	// and input-only changes re-solve incrementally. Zero disables
+	// caching (the seed behavior).
+	CacheBytes int64
 
 	// Logger receives the structured per-request log lines; nil disables
 	// logging.
@@ -220,6 +230,13 @@ type Service struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// cache is the shared content-addressed stage cache (Options.CacheBytes);
+	// nil when disabled. cacheFast counts requests answered by the warm
+	// fast path — deliberately outside the admitted/completed ledger, since
+	// those requests never enter admission.
+	cache     *stagecache.Cache
+	cacheFast atomic.Int64
+
 	// Counters for Stats; shed counts admission rejections, breakerRej
 	// breaker rejections, started individual engine runs.
 	admitted   atomic.Int64
@@ -234,7 +251,7 @@ type Service struct {
 // New creates a Service with the given options.
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
-	return &Service{
+	s := &Service{
 		opts:     opts,
 		log:      opts.Logger,
 		start:    opts.Now(),
@@ -242,13 +259,24 @@ func New(opts Options) *Service {
 		slots:    make(chan struct{}, opts.Workers),
 		rng:      rand.New(rand.NewSource(opts.BackoffSeed)),
 	}
+	if opts.CacheBytes > 0 {
+		s.cache = stagecache.New(stagecache.Options{MaxBytes: opts.CacheBytes})
+	}
+	return s
 }
+
+// Cache returns the service's shared stage cache; nil when caching is
+// disabled.
+func (s *Service) Cache() *stagecache.Cache { return s.cache }
 
 // Register adds (or replaces) a program under the given name. The
 // service-level SessionHighWater applies unless cfg sets its own.
 func (s *Service) Register(name string, prog *vm.Program, cfg engine.Config) {
 	if cfg.SessionHighWater == 0 {
 		cfg.SessionHighWater = s.opts.SessionHighWater
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = s.cache // nil when caching is disabled
 	}
 	p := &program{
 		name:     name,
@@ -291,6 +319,26 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*Response, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, req.Program)
 	}
 	inj := p.cfg.Fault.Run(0)
+
+	// Warm-program fast path: a full cache hit is answered before the
+	// breaker, the queue, and the worker pool — it costs one lookup and
+	// touches no session. Budget overrides change the result key's config
+	// half, so they always take the slow path; a draining service refuses
+	// even warm requests (readyz has already failed the balancer).
+	if req.Budget == nil && !s.draining.Load() {
+		if res, ok := p.analyzer.Cached(req.Inputs); ok {
+			s.cacheFast.Add(1)
+			s.log.Info("analyze",
+				"program", p.name,
+				"attempt", 0,
+				"outcome", "cache-hit",
+				"bits", res.Bits,
+				"cache", res.Cache.Disposition,
+				"latency", res.Stages.Lookup,
+			)
+			return &Response{Program: p.name, Attempts: 0, Result: res}, nil
+		}
+	}
 
 	if err := p.br.allow(s.opts.Now()); err != nil {
 		s.breakerRej.Add(1)
@@ -402,6 +450,7 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 				"bits", res.Bits,
 				"degraded", res.Degraded,
 				"trapped", res.Trap != nil,
+				"cache", res.Cache.Disposition,
 				"latency", lat,
 				"inject", inj.String(),
 			)
@@ -599,21 +648,26 @@ type ProgramStats struct {
 
 // Stats is the service-wide health snapshot served on /healthz.
 type Stats struct {
-	UptimeMS        int64          `json:"uptime_ms"`
-	Workers         int            `json:"workers"`
-	QueueDepth      int            `json:"queue_depth"`
-	Queued          int64          `json:"queued"`
-	InFlight        int64          `json:"in_flight"`
-	Admitted        int64          `json:"admitted"`
-	Started         int64          `json:"started"` // engine runs, retries included
-	Completed       int64          `json:"completed"`
-	Failed          int64          `json:"failed"`
-	Retried         int64          `json:"retried"`
-	Shed            int64          `json:"shed"`
-	BreakerRejected int64          `json:"breaker_rejected"`
-	EWMALatencyUS   int64          `json:"ewma_latency_us"`
-	Draining        bool           `json:"draining"`
-	Programs        []ProgramStats `json:"programs"`
+	UptimeMS        int64 `json:"uptime_ms"`
+	Workers         int   `json:"workers"`
+	QueueDepth      int   `json:"queue_depth"`
+	Queued          int64 `json:"queued"`
+	InFlight        int64 `json:"in_flight"`
+	Admitted        int64 `json:"admitted"`
+	Started         int64 `json:"started"` // engine runs, retries included
+	Completed       int64 `json:"completed"`
+	Failed          int64 `json:"failed"`
+	Retried         int64 `json:"retried"`
+	Shed            int64 `json:"shed"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	EWMALatencyUS   int64 `json:"ewma_latency_us"`
+	Draining        bool  `json:"draining"`
+	// CacheFastPath counts requests answered by the warm fast path; they
+	// bypass admission, so they are not part of the admitted/completed
+	// ledger. Cache snapshots the shared stage cache (nil when disabled).
+	CacheFastPath int64             `json:"cache_fast_path"`
+	Cache         *stagecache.Stats `json:"cache,omitempty"`
+	Programs      []ProgramStats    `json:"programs"`
 }
 
 // Stats snapshots the service.
@@ -633,6 +687,11 @@ func (s *Service) Stats() Stats {
 		BreakerRejected: s.breakerRej.Load(),
 		EWMALatencyUS:   s.EWMALatency().Microseconds(),
 		Draining:        s.draining.Load(),
+		CacheFastPath:   s.cacheFast.Load(),
+	}
+	if s.cache != nil {
+		cst := s.cache.Stats()
+		st.Cache = &cst
 	}
 	s.mu.Lock()
 	progs := make([]*program, 0, len(s.programs))
