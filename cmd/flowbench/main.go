@@ -46,6 +46,7 @@ var experimentsByName = []struct {
 	{"batch", "engine: parallel batch vs serial multi-run", runBatch},
 	{"degrade", "engine: solver-budget degradation tradeoff", runDegrade},
 	{"cache", "engine: content-addressed cache cold/incremental/warm", runCache},
+	{"ledger", "service: leakage-ledger charge+settle overhead per request", runLedger},
 	{"static", "static analysis: region inference + cross-check", runStatic},
 }
 
@@ -69,6 +70,12 @@ type timingRecord struct {
 	IncrementalMS float64 `json:"incremental_ms,omitempty"`
 	WarmMS        float64 `json:"warm_ms,omitempty"`
 	HitRate       float64 `json:"hit_rate,omitempty"`
+	// The ledger experiment's per-request charge+settle overhead by
+	// durability regime (microseconds), and the cost of a budget denial.
+	ChargeSettleUS        float64 `json:"charge_settle_us,omitempty"`
+	ChargeSettleDurableUS float64 `json:"charge_settle_durable_us,omitempty"`
+	ChargeSettleSyncedUS  float64 `json:"charge_settle_synced_us,omitempty"`
+	DeniedUS              float64 `json:"denied_us,omitempty"`
 }
 
 // staticTotals carries the static experiment's counts from its run
@@ -85,6 +92,11 @@ var compactTotals struct {
 // result hit rate.
 var cacheTotals struct {
 	coldMS, incMS, warmMS, hitRate float64
+}
+
+// ledgerTotals carries the ledger experiment's per-request overheads (µs).
+var ledgerTotals struct {
+	volatileUS, lazyUS, syncUS, deniedUS float64
 }
 
 func main() {
@@ -140,6 +152,10 @@ func main() {
 			if e.name == "cache" {
 				rec.ColdMS, rec.IncrementalMS = cacheTotals.coldMS, cacheTotals.incMS
 				rec.WarmMS, rec.HitRate = cacheTotals.warmMS, cacheTotals.hitRate
+			}
+			if e.name == "ledger" {
+				rec.ChargeSettleUS, rec.ChargeSettleDurableUS = ledgerTotals.volatileUS, ledgerTotals.lazyUS
+				rec.ChargeSettleSyncedUS, rec.DeniedUS = ledgerTotals.syncUS, ledgerTotals.deniedUS
 			}
 			timings = append(timings, rec)
 			fmt.Println()
@@ -337,6 +353,29 @@ func runCache(sizes []int) {
 	fmt.Println(" warm answers from the cached result without touching a session)")
 	cacheTotals.coldMS, cacheTotals.incMS = perRun(r.Cold), perRun(r.Incremental)
 	cacheTotals.warmMS, cacheTotals.hitRate = perRun(r.Warm), r.HitRatio
+}
+
+func runLedger(sizes []int) {
+	n := 2000
+	if len(sizes) > 0 {
+		n = sizes[0]
+	}
+	r := experiments.LedgerStudy(n)
+	perOp := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(r.Ops)
+	}
+	fmt.Printf("%d charge+settle pairs per regime\n", r.Ops)
+	fmt.Printf("  %-22s %10s\n", "regime", "per-req")
+	fmt.Printf("  %-22s %8.2fµs\n", "volatile (no WAL)", perOp(r.Volatile))
+	fmt.Printf("  %-22s %8.2fµs\n", "durable, no fsync", perOp(r.DurableLazy))
+	fmt.Printf("  %-22s %8.2fµs\n", "durable, fsync/append", perOp(r.DurableSync))
+	fmt.Printf("  %-22s %8.2fµs\n", "budget denial", perOp(r.Denied))
+	fmt.Printf("replay recovers synced bits exactly: %v; WAL after compaction: %dB\n",
+		r.ReplayOK, r.WALBytes)
+	fmt.Println("(the fail-closed default pays one fsync per charge and one per settle;")
+	fmt.Println(" denials are pure memory — exhausted principals are cheap to refuse)")
+	ledgerTotals.volatileUS, ledgerTotals.lazyUS = perOp(r.Volatile), perOp(r.DurableLazy)
+	ledgerTotals.syncUS, ledgerTotals.deniedUS = perOp(r.DurableSync), perOp(r.Denied)
 }
 
 func runCompaction(sizes []int) {

@@ -26,6 +26,7 @@ import (
 
 	"flowcheck/internal/check"
 	"flowcheck/internal/core"
+	"flowcheck/internal/fault"
 	"flowcheck/internal/guest"
 	"flowcheck/internal/infer"
 	"flowcheck/internal/lang/parser"
@@ -204,6 +205,7 @@ func cmdRun(args []string) error {
 	workers := fs.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 	stages := fs.Bool("stages", false, "print per-stage pipeline timings")
 	useCache := fs.Bool("cache", false, "run through a content-addressed stage cache and report the disposition (repeat -runs are served from cache)")
+	faultSeed := fs.Int64("fault-seed", 0, "inject deterministic pipeline faults from this seed (0 = none); fault runs bypass the stage cache")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this long (exit code 4)")
 	maxSteps := fs.Uint64("max-steps", 0, "guest step limit (0 = default; exhaustion is a typed trap, exit code 3)")
 	maxGraphNodes := fs.Int("max-graph-nodes", 0, "fail a run whose flow graph exceeds this many nodes (0 = unlimited)")
@@ -233,10 +235,22 @@ func cmdRun(args []string) error {
 	if *ek {
 		cfg.Algorithm = maxflow.EdmondsKarp
 	}
+	if *faultSeed != 0 {
+		n := *runs
+		if n < 1 {
+			n = 1
+		}
+		cfg.Fault = fault.Random(*faultSeed, n)
+	}
 	var cache *core.Cache
 	if *useCache {
 		cache = core.NewCache(core.CacheOptions{})
 		cfg.Cache = cache
+		if cfg.Fault != nil {
+			// Without this notice a faulted run silently loses the cache
+			// and looks like a cache bug in timing comparisons.
+			fmt.Println("note: fault injection active; the stage cache is bypassed for every run (cache: bypass)")
+		}
 	}
 	runCtx := context.Background()
 	if *timeout > 0 {
@@ -315,7 +329,11 @@ func cmdRun(args []string) error {
 	}
 	if cache != nil {
 		if res.Cache.Disposition != "" {
-			fmt.Printf("cache: %s (key %s)\n", res.Cache.Disposition, res.Cache.Key)
+			if res.Cache.BypassReason != "" {
+				fmt.Printf("cache: %s (%s)\n", res.Cache.Disposition, res.Cache.BypassReason)
+			} else {
+				fmt.Printf("cache: %s (key %s)\n", res.Cache.Disposition, res.Cache.Key)
+			}
 		}
 		st := cache.Stats()
 		tot := st.Totals()

@@ -22,6 +22,15 @@
 // input-only changes reuse the program's static analysis and collapsed
 // graph skeleton (X-Flow-Cache: incremental).
 //
+// With -ledger-dir (and/or -budget-bits) the daemon keeps a durable
+// leakage-budget ledger: each request is charged a pessimistic estimate
+// against its principal (X-Flow-Principal header or "principal" field)
+// before running and settled to the measured bits after; principals over
+// budget get 429 with kind "budget-exceeded", and ledger I/O failures
+// deny with 503 "ledger-unavailable" unless -ledger-fail-open. The WAL in
+// -ledger-dir replays on boot, so cumulative bits — and exhausted
+// budgets — survive crashes and restarts.
+//
 // Every built-in case-study guest (flowcheck guests) is registered as a
 // program; -src FILE.mc registers additional MiniC programs by file
 // basename. Shed requests (queue full, or a deadline the current backlog
@@ -48,6 +57,7 @@ import (
 	"flowcheck/internal/engine"
 	"flowcheck/internal/guest"
 	"flowcheck/internal/lang"
+	"flowcheck/internal/ledger"
 	"flowcheck/internal/serve"
 	"flowcheck/internal/taint"
 )
@@ -77,6 +87,11 @@ func run() error {
 	retryDegraded := fs.Bool("retry-degraded", false, "retry solver-degraded results with the solver budget doubled")
 	highWater := fs.Int("recycle-high-water", 1<<20, "recycle sessions whose arena exceeded this many peak live edges (0 = never)")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "shared content-addressed stage cache budget in bytes (0 = disable caching)")
+	ledgerDir := fs.String("ledger-dir", "", "durable leakage-budget ledger directory (empty = no ledger)")
+	budgetBits := fs.Int64("budget-bits", 0, "cumulative leakage budget per (principal, program) in bits (0 = account but never deny; requires -ledger-dir or -budget-bits>0 to enable the ledger)")
+	ledgerWindow := fs.Duration("ledger-window", 0, "leakage budget decay window: settled bits reset this long after a pair's window opens (0 = lifetime budget)")
+	ledgerSync := fs.Int("ledger-sync", 1, "fsync the ledger WAL every N appends (1 = every append, -1 = never)")
+	ledgerFailOpen := fs.Bool("ledger-fail-open", false, "admit requests when ledger I/O fails instead of denying (default fail-closed)")
 	exact := fs.Bool("exact", false, "exact-mode analysis (per-operation graphs)")
 	maxSteps := fs.Uint64("max-steps", 0, "guest step limit (0 = engine default)")
 	maxOutputBytes := fs.Int("max-output-bytes", 0, "per-run output budget in bytes (0 = unlimited)")
@@ -96,6 +111,36 @@ func run() error {
 	}
 	log := slog.New(handler)
 
+	// The ledger turns on when it has somewhere to persist or something to
+	// enforce. -ledger-dir alone accounts durably without denying;
+	// -budget-bits alone enforces in memory only (restart forgets).
+	var led *ledger.Ledger
+	if *ledgerDir != "" || *budgetBits > 0 {
+		var err error
+		led, err = ledger.Open(ledger.Options{
+			Dir:        *ledgerDir,
+			BudgetBits: *budgetBits,
+			Window:     *ledgerWindow,
+			SyncEvery:  *ledgerSync,
+			FailOpen:   *ledgerFailOpen,
+			Logger:     log,
+		})
+		if err != nil {
+			return fmt.Errorf("opening ledger: %w", err)
+		}
+		defer led.Close()
+		st := led.Stats()
+		log.Info("leakage ledger open",
+			"dir", *ledgerDir,
+			"budget_bits", *budgetBits,
+			"fail_open", *ledgerFailOpen,
+			"replayed_records", st.ReplayedRecords,
+			"recovered_pending", st.RecoveredPending,
+			"truncated_bytes", st.TruncatedBytes,
+			"principals", len(st.Entries),
+		)
+	}
+
 	svc := serve.New(serve.Options{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
@@ -107,6 +152,7 @@ func run() error {
 		RetryDegraded:    *retryDegraded,
 		SessionHighWater: *highWater,
 		CacheBytes:       *cacheBytes,
+		Ledger:           led,
 		Logger:           log,
 	})
 

@@ -27,6 +27,7 @@ var guestFlows = []struct {
 	{"compress", 1656, 1656},
 	{"count_punct", 9, 9},
 	{"divzero", 1, 1},
+	{"guessnum", 3, 3},
 	{"imagefilter", 316, 316},
 	{"interp", 4, 4},
 	{"sshauth", 128, 128},

@@ -72,6 +72,10 @@ type CacheTrace struct {
 	// CacheIncremental. Empty means no cache was configured or the result
 	// came from a multi-run entry point (which does not result-cache).
 	Disposition string
+	// BypassReason says why a CacheBypass happened ("fault-injection");
+	// empty for every other disposition. Surfaced so operators can tell a
+	// deliberately cold service from a broken cache.
+	BypassReason string
 	// StaticHit reports that the static pre-pass was served from the
 	// global program cache rather than computed by this run.
 	StaticHit bool

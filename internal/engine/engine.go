@@ -492,6 +492,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, in Inputs) (*Result, erro
 		res, err := a.analyzeDirect(ctx, in)
 		if err == nil && a.cfg.Cache != nil {
 			res.Cache.Disposition = CacheBypass
+			res.Cache.BypassReason = "fault-injection"
 		}
 		return res, err
 	}

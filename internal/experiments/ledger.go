@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"flowcheck/internal/ledger"
+)
+
+// ---------------------------------------------- Leakage-ledger overhead ---
+
+// LedgerResult measures what the durable leakage-budget ledger adds to a
+// served request: one Charge before the run and one Settle after. Three
+// durability regimes bracket the cost — volatile (no WAL at all),
+// durable without fsync (WAL appends ride the page cache), and durable
+// with fsync per append (the fail-closed default: a settled record is on
+// disk when Settle returns) — plus the cost of a budget denial, which
+// touches no WAL (denials are derived state, recomputed on replay).
+type LedgerResult struct {
+	Ops int // charge+settle pairs per regime
+
+	Volatile    time.Duration // regime totals over Ops pairs
+	DurableLazy time.Duration // WAL, SyncEvery: -1
+	DurableSync time.Duration // WAL, fsync every append
+	Denied      time.Duration // over-budget denials (no I/O)
+
+	// ReplayOK: reopening the synced regime's directory recovers the
+	// exact cumulative bits the in-memory ledger held.
+	ReplayOK bool
+	// WALBytes is the synced regime's WAL size after Ops pairs, showing
+	// what snapshot compaction left behind.
+	WALBytes int64
+}
+
+// LedgerStudy runs n charge+settle pairs through each regime.
+func LedgerStudy(n int) LedgerResult {
+	r := LedgerResult{Ops: n}
+
+	pairs := func(l *ledger.Ledger) time.Duration {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			c, err := l.Charge("bench", "prog", 64)
+			if err != nil {
+				panic(err)
+			}
+			if err := l.Settle(c, 3); err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(t0)
+	}
+
+	{
+		l, err := ledger.Open(ledger.Options{})
+		if err != nil {
+			panic(err)
+		}
+		r.Volatile = pairs(l)
+		l.Close()
+	}
+
+	{
+		dir, err := os.MkdirTemp("", "flowbench-ledger-lazy-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		l, err := ledger.Open(ledger.Options{Dir: dir, SyncEvery: -1})
+		if err != nil {
+			panic(err)
+		}
+		r.DurableLazy = pairs(l)
+		l.Close()
+	}
+
+	var wantBits int64
+	{
+		dir, err := os.MkdirTemp("", "flowbench-ledger-sync-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		l, err := ledger.Open(ledger.Options{Dir: dir, SyncEvery: 1})
+		if err != nil {
+			panic(err)
+		}
+		r.DurableSync = pairs(l)
+		wantBits = l.Cumulative("bench", "prog")
+		st := l.Stats()
+		r.WALBytes = st.WALBytes
+		l.Close()
+
+		// Crash-replay sanity: reopening recovers the same cumulative bits.
+		l2, err := ledger.Open(ledger.Options{Dir: dir})
+		if err != nil {
+			panic(err)
+		}
+		r.ReplayOK = l2.Cumulative("bench", "prog") == wantBits
+		l2.Close()
+	}
+
+	{
+		l, err := ledger.Open(ledger.Options{BudgetBits: 1})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := l.Charge("bench", "prog", 1); err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := l.Charge("bench", "prog", 64); !errors.Is(err, ledger.ErrBudgetExceeded) {
+				panic(fmt.Sprintf("denial bench: %v", err))
+			}
+		}
+		r.Denied = time.Since(t0)
+		l.Close()
+	}
+
+	return r
+}

@@ -1,0 +1,151 @@
+package fault
+
+// io.go extends the fault harness to durable-store I/O: the leakage-budget
+// ledger (internal/ledger) consults an IOPlan at each WAL append, each
+// fsync, and once at replay, so tests can script exactly which write
+// fails, which sync fails, and how many tail bytes of the log a "crash"
+// corrupted — without touching the filesystem layer itself. Like Plan,
+// an IOPlan is deterministic: the same plan fails the same operations in
+// the same order, and RandomIO derives one from a seed for chaos soaks.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjectedIO marks a scripted I/O failure; concrete IOError values
+// match it via errors.Is. Consumers treat it exactly like a real disk
+// error (the whole point), but tests can tell the two apart.
+var ErrInjectedIO = errors.New("fault: injected I/O failure")
+
+// IOError is one scripted I/O failure, carrying which operation class
+// failed ("write" or "sync") and the zero-based operation index.
+type IOError struct {
+	Op string
+	N  int
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("fault: injected %s failure at op %d", e.Op, e.N)
+}
+
+func (e *IOError) Is(target error) bool { return target == ErrInjectedIO }
+
+// IOPlan scripts failures for a durable store's I/O operations. The zero
+// value (and nil) injects nothing. Operations are counted per class from
+// zero in call order; the plan is safe for concurrent use.
+type IOPlan struct {
+	mu         sync.Mutex
+	writes     int
+	syncs      int
+	failWrites map[int]bool
+	failSyncs  map[int]bool
+	tailBytes  int
+}
+
+// NewIOPlan returns an empty I/O plan.
+func NewIOPlan() *IOPlan {
+	return &IOPlan{failWrites: map[int]bool{}, failSyncs: map[int]bool{}}
+}
+
+// FailWrite schedules the n-th write (zero-based) to fail. Returns the
+// plan for chaining.
+func (p *IOPlan) FailWrite(n int) *IOPlan {
+	p.failWrites[n] = true
+	return p
+}
+
+// FailSync schedules the n-th sync (zero-based) to fail.
+func (p *IOPlan) FailSync(n int) *IOPlan {
+	p.failSyncs[n] = true
+	return p
+}
+
+// CorruptTail schedules the store's next replay to find its last n bytes
+// corrupted, as a torn final write would leave them. The corruption is
+// consumed by the first TailCorruption call.
+func (p *IOPlan) CorruptTail(n int) *IOPlan {
+	p.tailBytes = n
+	return p
+}
+
+// WriteErr counts one write operation and returns its scripted failure,
+// or nil. Safe on a nil plan.
+func (p *IOPlan) WriteErr() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	n := p.writes
+	p.writes++
+	fail := p.failWrites[n]
+	p.mu.Unlock()
+	if fail {
+		return &IOError{Op: "write", N: n}
+	}
+	return nil
+}
+
+// SyncErr counts one sync operation and returns its scripted failure, or
+// nil. Safe on a nil plan.
+func (p *IOPlan) SyncErr() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	n := p.syncs
+	p.syncs++
+	fail := p.failSyncs[n]
+	p.mu.Unlock()
+	if fail {
+		return &IOError{Op: "sync", N: n}
+	}
+	return nil
+}
+
+// TailCorruption returns how many tail bytes the next replay should find
+// corrupted, consuming the injection (a second replay sees a clean log,
+// as a real once-torn file would). Safe on a nil plan.
+func (p *IOPlan) TailCorruption() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	n := p.tailBytes
+	p.tailBytes = 0
+	p.mu.Unlock()
+	return n
+}
+
+// Ops reports how many write and sync operations the plan has counted.
+func (p *IOPlan) Ops() (writes, syncs int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writes, p.syncs
+}
+
+// RandomIO derives an I/O plan for roughly ops operations from a seed:
+// each write and sync index independently fails with small probability,
+// and occasionally the tail is scheduled corrupt. The same seed always
+// yields the same plan.
+func RandomIO(seed int64, ops int) *IOPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewIOPlan()
+	for i := 0; i < ops; i++ {
+		if rng.Intn(20) == 0 {
+			p.FailWrite(i)
+		}
+		if rng.Intn(20) == 0 {
+			p.FailSync(i)
+		}
+	}
+	if rng.Intn(4) == 0 {
+		p.CorruptTail(1 + rng.Intn(32))
+	}
+	return p
+}

@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIOPlanScriptsOps(t *testing.T) {
+	p := NewIOPlan().FailWrite(1).FailSync(0).CorruptTail(7)
+
+	if err := p.WriteErr(); err != nil {
+		t.Fatalf("write 0: unexpected %v", err)
+	}
+	err := p.WriteErr()
+	if !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("write 1: got %v, want ErrInjectedIO", err)
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) || ioe.Op != "write" || ioe.N != 1 {
+		t.Fatalf("write 1: detail %+v", ioe)
+	}
+	if err := p.WriteErr(); err != nil {
+		t.Fatalf("write 2: unexpected %v", err)
+	}
+
+	if err := p.SyncErr(); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("sync 0: got %v, want ErrInjectedIO", err)
+	}
+	if err := p.SyncErr(); err != nil {
+		t.Fatalf("sync 1: unexpected %v", err)
+	}
+
+	if n := p.TailCorruption(); n != 7 {
+		t.Fatalf("tail corruption = %d, want 7", n)
+	}
+	if n := p.TailCorruption(); n != 0 {
+		t.Fatalf("tail corruption not consumed: %d", n)
+	}
+
+	w, s := p.Ops()
+	if w != 3 || s != 2 {
+		t.Fatalf("ops = %d writes, %d syncs; want 3, 2", w, s)
+	}
+}
+
+func TestIOPlanNilSafe(t *testing.T) {
+	var p *IOPlan
+	if err := p.WriteErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SyncErr(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.TailCorruption(); n != 0 {
+		t.Fatal("nil plan corrupted something")
+	}
+}
+
+func TestRandomIODeterministic(t *testing.T) {
+	a, b := RandomIO(42, 100), RandomIO(42, 100)
+	for i := 0; i < 100; i++ {
+		ea, eb := a.WriteErr(), b.WriteErr()
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("write %d: plans diverge (%v vs %v)", i, ea, eb)
+		}
+		ea, eb = a.SyncErr(), b.SyncErr()
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("sync %d: plans diverge (%v vs %v)", i, ea, eb)
+		}
+	}
+	if a.TailCorruption() != b.TailCorruption() {
+		t.Fatal("tail corruption differs between identical seeds")
+	}
+}

@@ -17,6 +17,9 @@
 //     Figure 3 scaling study (§5.3).
 //   - unary:       the §3.2 unary-printer consistency example.
 //   - divzero:     the §3.1 division example (a 1-bit adversarial channel).
+//   - guessnum:    an interactive guess-the-secret protocol whose per-query
+//     leak is small but whose adaptive trajectory extracts the whole
+//     secret — the scenario behind the cumulative leakage-budget ledger.
 //
 // Every program is compiled together with a small MiniC prelude
 // (stdlib.mc) providing strlen/puts/puti and friends.
@@ -132,6 +135,8 @@ func SampleInputs(name string) (secret, public []byte, ok bool) {
 		return secret, append([]byte{byte(len(script))}, script...), true
 	case "unary":
 		return []byte{5}, nil, true
+	case "guessnum":
+		return []byte{167}, []byte{128}, true
 	case "divzero":
 		return []byte{9, 0, 0, 0, 3, 0, 0, 0}, nil, true
 	}

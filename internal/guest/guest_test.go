@@ -13,7 +13,7 @@ import (
 func TestNamesAndSources(t *testing.T) {
 	names := Names()
 	want := []string{"battleship", "calendar", "compress", "count_punct", "divzero",
-		"imagefilter", "interp", "sshauth", "unary", "xserver"}
+		"guessnum", "imagefilter", "interp", "sshauth", "unary", "xserver"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

@@ -21,6 +21,7 @@ func TestAllGuestsFigure6(t *testing.T) {
 		"compress":    {HandAnnots: 4, FoundCount: 1, MissExpand: 3},
 		"count_punct": {HandAnnots: 4, FoundCount: 4},
 		"divzero":     {},
+		"guessnum":    {},
 		"imagefilter": {},
 		"interp":      {},
 		"sshauth":     {},

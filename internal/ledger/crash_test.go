@@ -1,0 +1,360 @@
+package ledger
+
+// crash_test.go is the in-process half of the crash-kill soak: a "crash"
+// abandons the ledger without Close (the file descriptor leaks until the
+// test exits, exactly as a SIGKILL would leave it) and reopens the same
+// directory. The invariants, from the charge-before-run protocol:
+//
+//   - every settled charge is recovered bit-for-bit;
+//   - every in-flight charge is recovered pessimistically at its full
+//     estimate — charged, never dropped;
+//   - a budget exhausted before the crash is still exhausted after.
+//
+// The process-level version (kill -9 against flowserved, then restart and
+// assert the same invariants over HTTP) lives in CI's service-smoke job.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowcheck/internal/fault"
+)
+
+// abandon opens a ledger that the caller will NOT close, simulating a
+// process that dies with the WAL file open.
+func abandon(t *testing.T, opts Options) *Ledger {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quiet()
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestCrashRecoversSettledBitForBit(t *testing.T) {
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir, BudgetBits: 1000})
+	chargeSettle(t, l, "alice", "auth", 32, 3)
+	chargeSettle(t, l, "alice", "auth", 32, 5)
+	chargeSettle(t, l, "bob", "guess", 16, 2)
+	// No Close: crash.
+
+	l2 := mustOpen(t, Options{Dir: dir, BudgetBits: 1000})
+	if got := l2.Cumulative("alice", "auth"); got != 8 {
+		t.Fatalf("alice/auth recovered %d bits, want 8", got)
+	}
+	if got := l2.Cumulative("bob", "guess"); got != 2 {
+		t.Fatalf("bob/guess recovered %d bits, want 2", got)
+	}
+	st := l2.Stats()
+	if st.RecoveredPending != 0 {
+		t.Fatalf("RecoveredPending = %d, want 0 (everything settled)", st.RecoveredPending)
+	}
+	if st.ReplayedRecords != 6 {
+		t.Fatalf("ReplayedRecords = %d, want 6 (3 charges + 3 settles)", st.ReplayedRecords)
+	}
+}
+
+func TestCrashRecoversInFlightPessimistically(t *testing.T) {
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir, BudgetBits: 1000})
+	chargeSettle(t, l, "alice", "auth", 32, 3)
+	if _, err := l.Charge("alice", "auth", 32); err != nil { // in flight at crash
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir, BudgetBits: 1000})
+	// 3 settled + 32 recovered at the full estimate, not dropped, not 3+measured.
+	if got := l2.Cumulative("alice", "auth"); got != 35 {
+		t.Fatalf("recovered %d bits, want 35 (3 settled + 32 pessimistic)", got)
+	}
+	st := l2.Stats()
+	if st.RecoveredPending != 1 {
+		t.Fatalf("RecoveredPending = %d, want 1", st.RecoveredPending)
+	}
+	// The pessimistic settle was made durable: a second crash right now
+	// replays to the identical state.
+	l3 := mustOpen(t, Options{Dir: dir, BudgetBits: 1000})
+	if got := l3.Cumulative("alice", "auth"); got != 35 {
+		t.Fatalf("second recovery %d bits, want 35", got)
+	}
+	if st := l3.Stats(); st.RecoveredPending != 0 {
+		t.Fatalf("second recovery RecoveredPending = %d, want 0", st.RecoveredPending)
+	}
+}
+
+func TestBudgetExhaustionSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir, BudgetBits: 10})
+	chargeSettle(t, l, "alice", "auth", 10, 10)
+	if _, err := l.Charge("alice", "auth", 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("pre-crash: %v, want ErrBudgetExceeded", err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir, BudgetBits: 10})
+	if _, err := l2.Charge("alice", "auth", 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("post-crash: %v, want ErrBudgetExceeded — exhaustion must survive restart", err)
+	}
+}
+
+func TestTornTailIsTruncatedNotSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir})
+	chargeSettle(t, l, "alice", "auth", 32, 3)
+	c, err := l.Charge("alice", "auth", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Settle(c, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the final record (the settle) as a torn write would.
+	plan := fault.NewIOPlan().CorruptTail(5)
+	l2 := mustOpen(t, Options{Dir: dir, Faults: plan})
+	st := l2.Stats()
+	if st.Truncations != 1 || st.TruncatedBytes == 0 {
+		t.Fatalf("truncations=%d bytes=%d, want a counted truncation", st.Truncations, st.TruncatedBytes)
+	}
+	// The torn settle is gone; its charge is recovered pessimistically:
+	// 3 settled + 16 at estimate.
+	if got := l2.Cumulative("alice", "auth"); got != 19 {
+		t.Fatalf("recovered %d bits, want 19 (3 settled + 16 pessimistic)", got)
+	}
+	if st.RecoveredPending != 1 {
+		t.Fatalf("RecoveredPending = %d, want 1", st.RecoveredPending)
+	}
+
+	// The file was physically truncated: a third open replays cleanly.
+	l3 := mustOpen(t, Options{Dir: dir})
+	if st := l3.Stats(); st.Truncations != 0 {
+		t.Fatalf("third open still truncating (%d)", st.Truncations)
+	}
+	if got := l3.Cumulative("alice", "auth"); got != 19 {
+		t.Fatalf("third open %d bits, want 19", got)
+	}
+}
+
+func TestWholeWALCorruptRecoversEmpty(t *testing.T) {
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir, SnapshotEvery: -1})
+	chargeSettle(t, l, "alice", "auth", 8, 8)
+
+	fi, err := os.Stat(filepath.Join(dir, "ledger.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewIOPlan().CorruptTail(int(fi.Size()))
+	l2 := mustOpen(t, Options{Dir: dir, Faults: plan})
+	st := l2.Stats()
+	if st.Truncations != 1 || st.TruncatedBytes != fi.Size() {
+		t.Fatalf("truncations=%d bytes=%d, want whole file (%d bytes) dropped and counted",
+			st.Truncations, st.TruncatedBytes, fi.Size())
+	}
+	if got := l2.Cumulative("alice", "auth"); got != 0 {
+		t.Fatalf("recovered %d bits from an all-corrupt WAL", got)
+	}
+}
+
+func TestCorruptSnapshotFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir, SnapshotEvery: 2})
+	for i := 0; i < 3; i++ {
+		chargeSettle(t, l, "alice", "auth", 8, 1)
+	}
+	snap := filepath.Join(dir, "ledger.snap")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot to corrupt: %v", err)
+	}
+	data, _ := os.ReadFile(snap)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Open(Options{Dir: dir, Logger: quiet()})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("fail-closed open over corrupt snapshot: %v, want ErrUnavailable", err)
+	}
+
+	// Fail-open boots anyway, from the WAL tail alone.
+	l2 := mustOpen(t, Options{Dir: dir, FailOpen: true})
+	if !l2.Stats().FailOpen {
+		t.Fatal("stats should report fail-open")
+	}
+}
+
+func TestReplayIsIdempotentAcrossCompactionCrash(t *testing.T) {
+	// A crash between "snapshot renamed" and "WAL truncated" leaves both
+	// files covering the same records; LSN skipping must not double-apply.
+	dir := t.TempDir()
+	l := abandon(t, Options{Dir: dir, SnapshotEvery: -1})
+	for i := 0; i < 5; i++ {
+		chargeSettle(t, l, "alice", "auth", 8, 2)
+	}
+	// Force a snapshot, then undo the WAL truncation by rewriting the
+	// pre-snapshot WAL bytes — the exact on-disk state of that crash.
+	walPath := filepath.Join(dir, "ledger.wal")
+	pre, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir})
+	if got := l2.Cumulative("alice", "auth"); got != 10 {
+		t.Fatalf("recovered %d bits, want 10 — WAL records ≤ snapshot LSN must be skipped", got)
+	}
+}
+
+// TestCrashSoak is the in-process crash-kill soak: seeded random
+// workloads, abandoned at a random point, recovered, and checked against
+// a shadow model — settled entries bit-for-bit, in-flight entries at
+// their full estimates.
+func TestCrashSoak(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			dir := t.TempDir()
+			l := abandon(t, Options{Dir: dir, SnapshotEvery: 1 + rng.Intn(16), SyncEvery: 1})
+
+			type pk struct{ principal, program string }
+			principals := []string{"alice", "bob", "carol"}
+			programs := []string{"auth", "guess"}
+			settled := map[pk]int64{}    // shadow: settled bits
+			pendings := map[pk][]int64{} // shadow: in-flight estimates
+			open := []*Charge{}
+
+			ops := 30 + rng.Intn(70)
+			for i := 0; i < ops; i++ {
+				if len(open) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(open))
+					c := open[j]
+					open = append(open[:j], open[j+1:]...)
+					actual := rng.Int63n(c.EstimateBits + 1)
+					if err := l.Settle(c, actual); err != nil {
+						t.Fatalf("op %d settle: %v", i, err)
+					}
+					k := pk{c.Principal, c.Program}
+					settled[k] += actual
+					p := pendings[k]
+					for n, est := range p {
+						if est == c.EstimateBits {
+							pendings[k] = append(p[:n], p[n+1:]...)
+							break
+						}
+					}
+				} else {
+					k := pk{principals[rng.Intn(len(principals))], programs[rng.Intn(len(programs))]}
+					est := 1 + rng.Int63n(64)
+					c, err := l.Charge(k.principal, k.program, est)
+					if err != nil {
+						t.Fatalf("op %d charge: %v", i, err)
+					}
+					open = append(open, c)
+					pendings[k] = append(pendings[k], est)
+				}
+			}
+			// Crash (abandon) and recover.
+			l2 := mustOpen(t, Options{Dir: dir})
+			for _, principal := range principals {
+				for _, program := range programs {
+					k := pk{principal, program}
+					want := settled[k]
+					for _, est := range pendings[k] {
+						want += est // pessimistic: full estimate, never dropped
+					}
+					if got := l2.Cumulative(principal, program); got != want {
+						t.Errorf("%s/%s: recovered %d bits, want %d (settled %d + pending %v)",
+							principal, program, got, want, settled[k], pendings[k])
+					}
+				}
+			}
+			if st := l2.Stats(); st.RecoveredPending != int64(len(open)) {
+				t.Errorf("RecoveredPending = %d, want %d", st.RecoveredPending, len(open))
+			}
+		})
+	}
+}
+
+// TestFaultSoak drives seeded random workloads through seeded random I/O
+// fault plans in fail-closed mode and checks the one inviolable
+// invariant: recovery never under-counts. (It can over-count: a record
+// can reach the disk and then its fsync can "fail".)
+func TestFaultSoak(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			dir := t.TempDir()
+			plan := fault.RandomIO(int64(seed)*7919, 200)
+			l := abandon(t, Options{Dir: dir, SnapshotEvery: 1 + rng.Intn(16), Faults: plan})
+
+			type pk struct{ principal, program string }
+			floor := map[pk]int64{} // settled bits that MUST survive
+			var open []*Charge
+			for i := 0; i < 60; i++ {
+				if len(open) > 0 && rng.Intn(2) == 0 {
+					c := open[len(open)-1]
+					open = open[:len(open)-1]
+					actual := rng.Int63n(c.EstimateBits + 1)
+					err := l.Settle(c, actual)
+					k := pk{c.Principal, c.Program}
+					if err == nil {
+						floor[k] += actual
+					} else if !errors.Is(err, ErrUnavailable) {
+						t.Fatalf("settle: %v", err)
+					} else {
+						// The settle append failed, but it may have reached
+						// the disk before a failing fsync. Recovery sees
+						// either the settle (actual) or the still-pending
+						// charge (estimate ≥ actual); the guaranteed minimum
+						// is the measured bits.
+						floor[k] += actual
+					}
+				} else {
+					c, err := l.Charge("p", "auth", 1+rng.Int63n(32))
+					if err == nil {
+						open = append(open, c)
+					} else if !errors.Is(err, ErrUnavailable) {
+						t.Fatalf("charge: %v", err)
+					}
+				}
+			}
+			for _, c := range open {
+				floor[pk{c.Principal, c.Program}] += c.EstimateBits
+			}
+
+			// Crash; recover with a fresh (fault-free) plan. The injected
+			// tail corruption, if the seed scheduled one, was already
+			// consumed as write/sync failures happen on the first plan —
+			// replay here sees whatever really hit the "disk".
+			l2 := mustOpen(t, Options{Dir: dir})
+			for k, want := range floor {
+				if got := l2.Cumulative(k.principal, k.program); got < want {
+					t.Errorf("%s/%s: recovered %d bits < floor %d — recovery under-counted",
+						k.principal, k.program, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,302 @@
+package ledger
+
+// snapshot.go is recovery and compaction. A snapshot is one framed record
+// (same CRC framing as the WAL) holding the last LSN it covers plus the
+// full entry table as JSON, written atomically (tmp + fsync + rename).
+// Compaction writes a snapshot and truncates the WAL; a crash anywhere in
+// that sequence is safe because replay skips WAL records at or below the
+// snapshot's LSN. Recovery loads the snapshot, replays the WAL tail, and
+// truncates a torn or corrupt tail at the last whole record — loudly,
+// with counters, never silently.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// snapEntry is one (principal, program) pair in the snapshot.
+type snapEntry struct {
+	Principal     string           `json:"principal"`
+	Program       string           `json:"program"`
+	Settled       int64            `json:"settled_bits"`
+	Queries       int64            `json:"queries"`
+	Denied        int64            `json:"denied"`
+	LastBits      int64            `json:"last_bits"`
+	WindowStartNS int64            `json:"window_start_ns"`
+	Pending       map[uint64]int64 `json:"pending,omitempty"` // charge LSN -> estimate
+}
+
+type snapFile struct {
+	LastLSN uint64      `json:"last_lsn"`
+	Entries []snapEntry `json:"entries"`
+}
+
+// recover loads the snapshot and replays the WAL into l.mu. Called from
+// Open before the WAL is opened for appending; no locking needed.
+func (l *Ledger) recover() error {
+	os.Remove(l.snapPath() + ".tmp") // a compaction that died mid-write
+
+	snapLSN, err := l.loadSnapshot()
+	if err != nil {
+		if !l.opts.FailOpen {
+			return &UnavailableError{Op: "open", Cause: err}
+		}
+		// Fail open: recover from the WAL alone. Everything the snapshot
+		// covered that the WAL no longer holds is lost — say so.
+		l.log.Error("ledger: snapshot unreadable; recovering from WAL only (fail-open) — "+
+			"compacted history is lost and cumulative bits may under-count", "err", err)
+		snapLSN = 0
+	}
+	if l.mu.nextLSN <= snapLSN {
+		l.mu.nextLSN = snapLSN + 1
+	}
+	return l.replayWAL(snapLSN)
+}
+
+// loadSnapshot reads ledger.snap into l.mu and returns the LSN it covers
+// (0 when there is no snapshot).
+func (l *Ledger) loadSnapshot() (uint64, error) {
+	data, err := os.ReadFile(l.snapPath())
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("reading snapshot: %w", err)
+	}
+	payload, consumed, ok := readFrame(data)
+	if !ok || consumed != len(data) || len(payload) < 9 || payload[0] != recSnapshot {
+		return 0, fmt.Errorf("snapshot %s is corrupt (%d bytes)", l.snapPath(), len(data))
+	}
+	lastLSN := binary.LittleEndian.Uint64(payload[1:9])
+	var sf snapFile
+	if err := json.Unmarshal(payload[9:], &sf); err != nil {
+		return 0, fmt.Errorf("snapshot %s: %w", l.snapPath(), err)
+	}
+	if sf.LastLSN != lastLSN {
+		return 0, fmt.Errorf("snapshot %s: LSN header %d != body %d", l.snapPath(), lastLSN, sf.LastLSN)
+	}
+	for _, se := range sf.Entries {
+		k := pairKey{se.Principal, se.Program}
+		e := &entry{
+			settled:     se.Settled,
+			pending:     map[uint64]int64{},
+			queries:     se.Queries,
+			denied:      se.Denied,
+			lastBits:    se.LastBits,
+			windowStart: time.Unix(0, se.WindowStartNS),
+		}
+		for lsn, est := range se.Pending {
+			e.pending[lsn] = est
+			e.pendingBits += est
+			l.mu.pending[lsn] = k
+		}
+		l.mu.entries[k] = e
+	}
+	return lastLSN, nil
+}
+
+// replayWAL applies every valid WAL record with lsn > snapLSN, truncating
+// the file at the first torn or corrupt frame. The fault plan's scripted
+// tail corruption is applied to the file first, so the injected damage
+// goes through exactly the code path real damage would.
+func (l *Ledger) replayWAL(snapLSN uint64) error {
+	path := l.walPath()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		if !l.opts.FailOpen {
+			return &UnavailableError{Op: "open", Cause: err}
+		}
+		l.log.Error("ledger: WAL unreadable; recovering from snapshot only (fail-open)", "err", err)
+		return nil
+	}
+	if n := l.opts.Faults.TailCorruption(); n > 0 && len(data) > 0 {
+		if n > len(data) {
+			n = len(data)
+		}
+		for i := len(data) - n; i < len(data); i++ {
+			data[i] ^= 0xFF
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return &UnavailableError{Op: "open", Cause: err}
+		}
+		l.log.Warn("ledger: injected tail corruption", "bytes", n)
+	}
+
+	off := 0
+	for off < len(data) {
+		payload, consumed, ok := readFrame(data[off:])
+		if !ok {
+			break
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// CRC-valid but undecodable: version skew or in-frame damage.
+			// Framing downstream can't be trusted either; stop here.
+			l.log.Warn("ledger: undecodable WAL record; truncating", "offset", off, "err", derr)
+			break
+		}
+		off += consumed
+		if rec.lsn <= snapLSN {
+			continue // already folded into the snapshot
+		}
+		l.applyRecord(rec)
+		l.mu.stats.replayedRecords++
+		if rec.lsn >= l.mu.nextLSN {
+			l.mu.nextLSN = rec.lsn + 1
+		}
+	}
+	if off < len(data) {
+		dropped := len(data) - off
+		if err := os.Truncate(path, int64(off)); err != nil {
+			if !l.opts.FailOpen {
+				return &UnavailableError{Op: "open", Cause: err}
+			}
+			l.log.Error("ledger: could not truncate corrupt WAL tail (fail-open)", "err", err)
+		}
+		l.mu.stats.truncations++
+		l.mu.stats.truncatedBytes += int64(dropped)
+		l.log.Warn("ledger: truncated torn/corrupt WAL tail",
+			"valid_bytes", off, "dropped_bytes", dropped)
+	}
+	return nil
+}
+
+// applyRecord folds one replayed record into the in-memory state.
+func (l *Ledger) applyRecord(rec walRecord) {
+	switch rec.typ {
+	case recCharge:
+		k := pairKey{rec.principal, rec.program}
+		e := l.entryLocked(k)
+		e.pending[rec.lsn] = rec.estimate
+		e.pendingBits += rec.estimate
+		l.mu.pending[rec.lsn] = k
+	case recSettle:
+		if k, ok := l.mu.pending[rec.chargeLSN]; ok {
+			if e := l.mu.entries[k]; e != nil {
+				if est, ok := e.pending[rec.chargeLSN]; ok {
+					delete(e.pending, rec.chargeLSN)
+					delete(l.mu.pending, rec.chargeLSN)
+					e.pendingBits -= est
+					e.settled += rec.actual
+					e.queries++
+					e.lastBits = rec.actual
+				}
+			}
+		}
+	case recReset:
+		k := pairKey{rec.principal, rec.program}
+		e := l.entryLocked(k)
+		e.settled = 0
+		e.windowStart = time.Unix(0, rec.windowStartNS)
+	}
+}
+
+// settleRecovered pessimistically settles every charge that was in flight
+// when the previous process died: the run may have completed and released
+// its output just before the crash, so each is settled at its full
+// estimate — charged, never dropped. The settle records are appended so a
+// second crash replays the same state; an append failure here only means
+// the next replay re-derives the identical pessimistic answer.
+func (l *Ledger) settleRecovered() {
+	if len(l.mu.pending) == 0 {
+		return
+	}
+	for lsn, k := range l.mu.pending {
+		e := l.mu.entries[k]
+		if e == nil {
+			delete(l.mu.pending, lsn)
+			continue
+		}
+		est := e.pending[lsn]
+		settleLSN := l.mu.nextLSN
+		if err := l.appendLocked(encodeSettle(settleLSN, lsn, est)); err != nil {
+			l.log.Warn("ledger: recovered charge not durably settled; replay will re-derive it",
+				"charge_lsn", lsn, "estimate_bits", est, "err", err)
+		} else {
+			l.mu.nextLSN = settleLSN + 1
+		}
+		delete(e.pending, lsn)
+		delete(l.mu.pending, lsn)
+		e.pendingBits -= est
+		e.settled += est // pessimistic: the whole estimate, not a measured bound
+		l.mu.stats.recoveredPending++
+		l.log.Warn("ledger: recovered in-flight charge at full estimate",
+			"principal", k.principal, "program", k.program, "bits", est)
+	}
+	l.maybeCompactLocked()
+}
+
+// snapshotLocked compacts: write the full state as a snapshot (atomic via
+// tmp + fsync + rename), then truncate the WAL. Crash-ordering argument
+// in the file comment.
+func (l *Ledger) snapshotLocked() error {
+	sf := snapFile{LastLSN: l.mu.nextLSN - 1}
+	for k, e := range l.mu.entries {
+		se := snapEntry{
+			Principal:     k.principal,
+			Program:       k.program,
+			Settled:       e.settled,
+			Queries:       e.queries,
+			Denied:        e.denied,
+			LastBits:      e.lastBits,
+			WindowStartNS: e.windowStart.UnixNano(),
+		}
+		if len(e.pending) > 0 {
+			se.Pending = make(map[uint64]int64, len(e.pending))
+			for lsn, est := range e.pending {
+				se.Pending[lsn] = est
+			}
+		}
+		sf.Entries = append(sf.Entries, se)
+	}
+	body, err := json.Marshal(sf)
+	if err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	payload.WriteByte(recSnapshot)
+	var lsnb [8]byte
+	binary.LittleEndian.PutUint64(lsnb[:], sf.LastLSN)
+	payload.Write(lsnb[:])
+	payload.Write(body)
+
+	tmp := l.snapPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame(payload.Bytes())); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.snapPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Snapshot is durable and covers every appended record; the WAL can go.
+	if err := l.mu.wal.Truncate(0); err != nil {
+		// Old records stay; replay will skip them by LSN. Harmless but big.
+		l.log.Warn("ledger: WAL truncate after snapshot failed; replay will skip by LSN", "err", err)
+	}
+	l.mu.appends = 0
+	l.mu.syncDebt = 0
+	l.mu.snapshots++
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flowcheck/internal/engine"
+	"flowcheck/internal/ledger"
 	"flowcheck/internal/stagecache"
 )
 
@@ -17,7 +18,11 @@ import (
 // inputs come either as literal strings or base64 (for binary inputs);
 // the *_b64 field wins when both are set.
 type AnalyzeRequest struct {
-	Program   string `json:"program"`
+	Program string `json:"program"`
+	// Principal attributes the request for cumulative leakage accounting
+	// (the X-Flow-Principal header wins when both are set); empty means
+	// "anonymous". Ignored when the service has no ledger.
+	Principal string `json:"principal,omitempty"`
 	Secret    string `json:"secret,omitempty"`
 	SecretB64 string `json:"secret_b64,omitempty"`
 	Public    string `json:"public,omitempty"`
@@ -52,8 +57,14 @@ type AnalyzeResponse struct {
 	// Cache is the request's cache disposition ("hit", "miss",
 	// "incremental", "bypass"; empty when caching is disabled). Also
 	// exposed as the X-Flow-Cache response header. Attempts is 0 for
-	// fast-path hits: the request never entered admission.
-	Cache string `json:"cache,omitempty"`
+	// fast-path hits: the request never entered admission. CacheNote says
+	// why a bypass happened (e.g. "fault-injection").
+	Cache     string `json:"cache,omitempty"`
+	CacheNote string `json:"cache_note,omitempty"`
+	// RemainingBudgetBits is the principal's leakage budget left after
+	// this response settled, when the service has a ledger and the program
+	// a finite budget. Also the X-Flow-Budget-Remaining response header.
+	RemainingBudgetBits *int64 `json:"remaining_budget_bits,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a failed request; Kind is the stable
@@ -101,9 +112,14 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	principal := req.Principal
+	if h := r.Header.Get("X-Flow-Principal"); h != "" {
+		principal = h
+	}
 	sreq := Request{
-		Program: req.Program,
-		Inputs:  engine.Inputs{Secret: secret, Public: public},
+		Program:   req.Program,
+		Principal: principal,
+		Inputs:    engine.Inputs{Secret: secret, Public: public},
 	}
 	if req.MaxGraphNodes > 0 || req.MaxGraphEdges > 0 || req.MaxOutputBytes > 0 || req.SolverBudget > 0 {
 		sreq.Budget = &engine.Budget{
@@ -145,7 +161,17 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Cache.Disposition != "" {
 		out.Cache = res.Cache.Disposition
+		out.CacheNote = res.Cache.BypassReason
 		w.Header().Set("X-Flow-Cache", res.Cache.Disposition)
+	}
+	if l := s.opts.Ledger; l != nil {
+		if principal == "" {
+			principal = "anonymous"
+		}
+		if rem, ok := l.Remaining(principal, resp.Program); ok {
+			out.RemainingBudgetBits = &rem
+			w.Header().Set("X-Flow-Budget-Remaining", fmt.Sprint(rem))
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -169,24 +195,48 @@ func renderStatz(st stagecache.Stats) statzCache {
 	return out
 }
 
-// handleStatz serves cache observability: whether the shared cache is on,
-// how many requests the warm fast path answered, and hit/miss/evict/bytes
-// counters with per-stage hit ratios for both the service cache
-// (result/skeleton) and the process-global cache (compile/static).
+// statzService is the process-identity section of /statz.
+type statzService struct {
+	StartTime string `json:"start_time"`
+	UptimeMS  int64  `json:"uptime_ms"`
+	Version   string `json:"version"`
+	Draining  bool   `json:"draining"`
+}
+
+// handleStatz serves operational observability: process identity (start
+// time, uptime, build version), cache counters with per-stage hit ratios
+// for both the service cache (result/skeleton) and the process-global
+// cache (compile/static), per-program breaker state and retry counters,
+// and the leakage-budget ledger (bits per query, cumulative vs. budget,
+// principals near threshold).
 func (s *Service) handleStatz(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
-		CacheEnabled  bool        `json:"cache_enabled"`
-		CacheFastPath int64       `json:"cache_fast_path"`
-		Cache         *statzCache `json:"cache,omitempty"`
-		GlobalCache   statzCache  `json:"global_cache"`
+		Service       statzService   `json:"service"`
+		CacheEnabled  bool           `json:"cache_enabled"`
+		CacheFastPath int64          `json:"cache_fast_path"`
+		Cache         *statzCache    `json:"cache,omitempty"`
+		GlobalCache   statzCache     `json:"global_cache"`
+		Programs      []ProgramStats `json:"programs"`
+		Ledger        *ledger.Stats  `json:"ledger,omitempty"`
 	}{
+		Service: statzService{
+			StartTime: s.start.UTC().Format(time.RFC3339),
+			UptimeMS:  s.opts.Now().Sub(s.start).Milliseconds(),
+			Version:   s.version,
+			Draining:  s.draining.Load(),
+		},
 		CacheEnabled:  s.cache != nil,
 		CacheFastPath: s.cacheFast.Load(),
 		GlobalCache:   renderStatz(engine.GlobalCacheStats()),
+		Programs:      s.Stats().Programs,
 	}
 	if s.cache != nil {
 		sc := renderStatz(s.cache.Stats())
 		resp.Cache = &sc
+	}
+	if s.opts.Ledger != nil {
+		lst := s.opts.Ledger.Stats()
+		resp.Ledger = &lst
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -213,6 +263,11 @@ func httpStatus(err error) (int, string) {
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrUnknownProgram):
 		return http.StatusNotFound, "unknown-program"
+	case errors.Is(err, ledger.ErrBudgetExceeded):
+		// 429: the principal, not the service, is out of capacity.
+		return http.StatusTooManyRequests, "budget-exceeded"
+	case errors.Is(err, ledger.ErrUnavailable):
+		return http.StatusServiceUnavailable, "ledger-unavailable"
 	case errors.Is(err, engine.ErrCanceled):
 		return http.StatusGatewayTimeout, "canceled"
 	case errors.Is(err, engine.ErrBudget):

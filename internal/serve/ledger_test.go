@@ -1,0 +1,382 @@
+package serve_test
+
+// ledger_test.go covers the service side of the leakage-budget ledger:
+// charge-before-run/settle-after-run around the full request path
+// (including the cache fast path), typed budget and availability
+// denials end to end over HTTP, the drain-vs-charge ordering, and the
+// concurrent StartDrain/admission race under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"flowcheck/internal/engine"
+	"flowcheck/internal/fault"
+	"flowcheck/internal/guest"
+	"flowcheck/internal/ledger"
+	"flowcheck/internal/serve"
+)
+
+func newLedger(t *testing.T, opts ledger.Options) *ledger.Ledger {
+	t.Helper()
+	l, err := ledger.Open(opts)
+	if err != nil {
+		t.Fatalf("ledger.Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func principalReq(principal string, secret ...byte) serve.Request {
+	r := req(secret...)
+	r.Principal = principal
+	return r
+}
+
+func TestLedgerChargesAndSettlesToMeasuredBits(t *testing.T) {
+	led := newLedger(t, ledger.Options{Dir: t.TempDir(), BudgetBits: 1000})
+	svc := newService(t, serve.Options{Ledger: led})
+
+	resp, err := svc.Analyze(context.Background(), principalReq("alice", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The charge settled down from the 8-bit estimate (1 secret byte) to
+	// the measured bound.
+	if got := led.Cumulative("alice", "unary"); got != resp.Result.Bits {
+		t.Fatalf("cumulative = %d, want the measured %d", got, resp.Result.Bits)
+	}
+	lst := led.Stats()
+	if lst.Charged != 1 || lst.Settled != 1 {
+		t.Fatalf("ledger charged=%d settled=%d, want 1/1", lst.Charged, lst.Settled)
+	}
+	st := svc.Stats()
+	if st.Ledger == nil || st.Ledger.Settled != 1 {
+		t.Fatalf("service stats missing ledger section: %+v", st.Ledger)
+	}
+	if st.StartTime == "" || st.Version == "" {
+		t.Fatalf("service stats missing identity: start=%q version=%q", st.StartTime, st.Version)
+	}
+}
+
+func TestLedgerUnattributedRequestsShareAnonymous(t *testing.T) {
+	led := newLedger(t, ledger.Options{BudgetBits: 1000})
+	svc := newService(t, serve.Options{Ledger: led})
+	if _, err := svc.Analyze(context.Background(), req(200)); err != nil {
+		t.Fatal(err)
+	}
+	if got := led.Cumulative("anonymous", "unary"); got <= 0 {
+		t.Fatalf("anonymous cumulative = %d, want > 0", got)
+	}
+}
+
+func TestLedgerDeniesOverBudget(t *testing.T) {
+	// Budget of 8: the first 1-byte request fits exactly (estimate 8),
+	// settles lower, and requests keep fitting until cumulative + 8 > 8.
+	led := newLedger(t, ledger.Options{BudgetBits: 8})
+	svc := newService(t, serve.Options{Ledger: led})
+
+	var denied error
+	for i := 0; i < 50; i++ {
+		_, err := svc.Analyze(context.Background(), principalReq("alice", 200))
+		if err != nil {
+			denied = err
+			break
+		}
+	}
+	if !errors.Is(denied, ledger.ErrBudgetExceeded) {
+		t.Fatalf("never denied, or wrong error: %v", denied)
+	}
+	var ex *ledger.ExceededError
+	if !errors.As(denied, &ex) || ex.Principal != "alice" || ex.Program != "unary" {
+		t.Fatalf("denial detail %+v", denied)
+	}
+	if svc.Stats().LedgerDenied == 0 {
+		t.Fatal("LedgerDenied counter not incremented")
+	}
+	// A different principal is unaffected.
+	if _, err := svc.Analyze(context.Background(), principalReq("bob", 200)); err != nil {
+		t.Fatalf("bob denied by alice's exhaustion: %v", err)
+	}
+}
+
+func TestLedgerChargesCacheHits(t *testing.T) {
+	led := newLedger(t, ledger.Options{BudgetBits: 1000})
+	svc := newService(t, serve.Options{Ledger: led, CacheBytes: 8 << 20})
+
+	r1, err := svc.Analyze(context.Background(), principalReq("alice", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := led.Cumulative("alice", "unary")
+	r2, err := svc.Analyze(context.Background(), principalReq("alice", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Attempts != 0 {
+		t.Fatalf("second request attempts = %d, want 0 (cache fast path)", r2.Attempts)
+	}
+	// The hit revealed the same bits; the ledger must have charged it.
+	if got := led.Cumulative("alice", "unary"); got != after1+r1.Result.Bits {
+		t.Fatalf("cumulative after hit = %d, want %d", got, after1+r1.Result.Bits)
+	}
+}
+
+func TestLedgerFailClosedDeniesAdmission(t *testing.T) {
+	plan := fault.NewIOPlan().FailWrite(0)
+	led := newLedger(t, ledger.Options{Dir: t.TempDir(), BudgetBits: 1000, Faults: plan})
+	svc := newService(t, serve.Options{Ledger: led})
+
+	_, err := svc.Analyze(context.Background(), principalReq("alice", 200))
+	if !errors.Is(err, ledger.ErrUnavailable) {
+		t.Fatalf("got %v, want ledger.ErrUnavailable", err)
+	}
+	st := svc.Stats()
+	if st.LedgerUnavailable != 1 {
+		t.Fatalf("LedgerUnavailable = %d, want 1", st.LedgerUnavailable)
+	}
+	if st.Started != 0 {
+		t.Fatalf("a denied request started an engine run (started=%d)", st.Started)
+	}
+	// The fault was one-shot; the service recovers.
+	if _, err := svc.Analyze(context.Background(), principalReq("alice", 200)); err != nil {
+		t.Fatalf("post-fault request: %v", err)
+	}
+}
+
+func TestLedgerHTTPOutcomes(t *testing.T) {
+	led := newLedger(t, ledger.Options{BudgetBits: 8})
+	svc := newService(t, serve.Options{Ledger: led})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// First request fits (estimate 8 ≤ budget 8) and reports remaining.
+	resp, body := postAnalyze(t, ts, `{"program":"unary","principal":"alice","secret_b64":"yA==","timeout_ms":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out serve.AnalyzeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RemainingBudgetBits == nil || *out.RemainingBudgetBits != 8-out.Bits {
+		t.Fatalf("remaining budget %v, want %d", out.RemainingBudgetBits, 8-out.Bits)
+	}
+	if resp.Header.Get("X-Flow-Budget-Remaining") == "" {
+		t.Fatal("no X-Flow-Budget-Remaining header")
+	}
+
+	// Exhaust the budget, then expect 429 with the typed kind.
+	for i := 0; i < 50; i++ {
+		resp, _ = postAnalyze(t, ts, `{"program":"unary","principal":"alice","secret_b64":"yA==","timeout_ms":5000}`)
+		if resp.StatusCode != http.StatusOK {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("exhausted principal got %d, want 429", resp.StatusCode)
+	}
+	resp, body = postAnalyze(t, ts, `{"program":"unary","principal":"alice","secret_b64":"yA==","timeout_ms":5000}`)
+	var eresp serve.ErrorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || eresp.Kind != "budget-exceeded" {
+		t.Fatalf("status %d kind %q, want 429 budget-exceeded", resp.StatusCode, eresp.Kind)
+	}
+
+	// The X-Flow-Principal header wins over the body field.
+	resp, _ = postAnalyze(t, ts, `{"program":"unary","secret_b64":"yA==","timeout_ms":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous principal caught alice's denial: %d", resp.StatusCode)
+	}
+
+	// /statz carries the ledger, program, and service-identity sections.
+	sresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var statz struct {
+		Service struct {
+			StartTime string `json:"start_time"`
+			Version   string `json:"version"`
+		} `json:"service"`
+		Programs []serve.ProgramStats `json:"programs"`
+		Ledger   *ledger.Stats        `json:"ledger"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Service.StartTime == "" || statz.Service.Version == "" {
+		t.Fatalf("statz missing service identity: %+v", statz.Service)
+	}
+	if len(statz.Programs) == 0 {
+		t.Fatal("statz missing programs section")
+	}
+	if statz.Ledger == nil || statz.Ledger.Denied == 0 {
+		t.Fatalf("statz ledger section %+v, want denials recorded", statz.Ledger)
+	}
+	if len(statz.Ledger.NearThreshold) == 0 ||
+		!strings.Contains(statz.Ledger.NearThreshold[0], "alice") {
+		t.Fatalf("alice exhausted but not near-threshold: %v", statz.Ledger.NearThreshold)
+	}
+}
+
+func TestLedgerHTTPUnavailableOutcome(t *testing.T) {
+	plan := fault.NewIOPlan().FailWrite(0)
+	led := newLedger(t, ledger.Options{Dir: t.TempDir(), Faults: plan})
+	svc := newService(t, serve.Options{Ledger: led})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, body := postAnalyze(t, ts, `{"program":"unary","secret_b64":"yA==","timeout_ms":5000}`)
+	var eresp serve.ErrorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || eresp.Kind != "ledger-unavailable" {
+		t.Fatalf("status %d kind %q, want 503 ledger-unavailable", resp.StatusCode, eresp.Kind)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestDrainedServiceRejectsChargesWALIntact is the drain regression: a
+// drained service must refuse before touching the ledger, leaving the WAL
+// byte-identical and replayable.
+func TestDrainedServiceRejectsChargesWALIntact(t *testing.T) {
+	dir := t.TempDir()
+	led := newLedger(t, ledger.Options{Dir: dir, BudgetBits: 1000})
+	svc := newService(t, serve.Options{Ledger: led})
+
+	if _, err := svc.Analyze(context.Background(), principalReq("alice", 200)); err != nil {
+		t.Fatal(err)
+	}
+	before := led.Stats()
+
+	svc.StartDrain()
+	for i := 0; i < 5; i++ {
+		_, err := svc.Analyze(context.Background(), principalReq("alice", 200))
+		if !errors.Is(err, serve.ErrDraining) {
+			t.Fatalf("drained service: got %v, want ErrDraining", err)
+		}
+	}
+	after := led.Stats()
+	if after.Charged != before.Charged || after.Appends != before.Appends || after.WALBytes != before.WALBytes {
+		t.Fatalf("drained rejections touched the ledger: before %+v after %+v", before, after)
+	}
+
+	// The WAL is intact: a fresh ledger replays it cleanly to the same bits.
+	liveBits := led.Cumulative("alice", "unary")
+	if liveBits <= 0 {
+		t.Fatalf("live cumulative = %d, want > 0", liveBits)
+	}
+	led.Close()
+	l2 := newLedger(t, ledger.Options{Dir: dir})
+	if st := l2.Stats(); st.Truncations != 0 {
+		t.Fatalf("WAL corrupted by drained rejections: %+v", st)
+	}
+	if got := l2.Cumulative("alice", "unary"); got != liveBits {
+		t.Fatalf("replayed bits %d != live bits %d", got, liveBits)
+	}
+}
+
+// TestDrainVsAdmissionRace runs StartDrain concurrently with a burst of
+// admissions (run under -race). Every request must either complete
+// normally or fail with the typed draining error, and when the dust
+// settles the ledger must have no dangling pending charges: each
+// successful charge was settled exactly once.
+func TestDrainVsAdmissionRace(t *testing.T) {
+	led := newLedger(t, ledger.Options{Dir: t.TempDir(), BudgetBits: 1 << 40})
+	svc := newService(t, serve.Options{Workers: 4, Ledger: led})
+
+	const requesters = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var mu sync.Mutex
+	var unexpected []error
+	for g := 0; g < requesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				_, err := svc.Analyze(context.Background(), principalReq("racer", byte(g*20+i)))
+				switch {
+				case err == nil:
+				case errors.Is(err, serve.ErrDraining):
+				case errors.Is(err, serve.ErrOverload):
+				default:
+					mu.Lock()
+					unexpected = append(unexpected, err)
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		svc.StartDrain()
+	}()
+	close(start)
+	wg.Wait()
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(unexpected) > 0 {
+		t.Fatalf("unexpected errors during drain race: %v", unexpected)
+	}
+
+	lst := led.Stats()
+	for _, e := range lst.Entries {
+		if e.PendingBits != 0 {
+			t.Fatalf("dangling pending charge after drain: %+v", e)
+		}
+	}
+	if lst.Settled != lst.Charged-lst.Denied {
+		t.Fatalf("charged=%d settled=%d denied=%d: some charge was never settled",
+			lst.Charged, lst.Settled, lst.Denied)
+	}
+}
+
+func TestRegisterWarnsOnFaultCacheBypass(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	svc := serve.New(serve.Options{
+		CacheBytes: 1 << 20,
+		Logger:     slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil)),
+	})
+	svc.Register("faulty", guest.Program("unary"), engine.Config{
+		Fault: fault.NewPlan().Every(fault.Injection{}),
+	})
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "stage cache is bypassed") {
+		t.Fatalf("no bypass warning at registration; log: %s", logged)
+	}
+
+	// And the served result carries the machine-readable reason.
+	resp, err := svc.Analyze(context.Background(), serve.Request{
+		Program: "faulty", Inputs: engine.Inputs{Secret: []byte{200}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Cache.Disposition != engine.CacheBypass ||
+		resp.Result.Cache.BypassReason != "fault-injection" {
+		t.Fatalf("cache trace %+v, want bypass/fault-injection", resp.Result.Cache)
+	}
+}

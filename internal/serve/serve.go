@@ -37,6 +37,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 
 	"flowcheck/internal/engine"
 	"flowcheck/internal/fault"
+	"flowcheck/internal/ledger"
 	"flowcheck/internal/stagecache"
 	"flowcheck/internal/vm"
 )
@@ -119,6 +121,17 @@ type Options struct {
 	// applied to registered programs that do not set their own.
 	SessionHighWater int
 
+	// Ledger, when non-nil, gates every request through the durable
+	// leakage-budget ledger: a pessimistic estimate (8 bits per secret
+	// byte — no run can reveal more than the whole secret) is charged
+	// before the run, against the request's principal, and settled down to
+	// the measured bound after. Over-budget requests are denied with
+	// ledger.ErrBudgetExceeded before any analysis runs; ledger I/O faults
+	// deny with ledger.ErrUnavailable unless the ledger is fail-open.
+	// Cache-hit fast paths are charged too — a cached answer reveals the
+	// same bits.
+	Ledger *ledger.Ledger
+
 	// CacheBytes, when positive, gives the service a shared
 	// content-addressed stage cache of that byte budget, injected into
 	// every registered program that does not bring its own
@@ -176,6 +189,10 @@ func (o Options) withDefaults() Options {
 type Request struct {
 	// Program names a registered program.
 	Program string
+	// Principal identifies who is asking, for cumulative leakage
+	// accounting (Options.Ledger). Empty means "anonymous" — all
+	// unattributed requests share one budget, which errs toward denial.
+	Principal string
 	// Inputs is the execution's secret/public input pair.
 	Inputs engine.Inputs
 	// Budget, when non-nil, overrides the program's configured budget for
@@ -201,15 +218,19 @@ type program struct {
 	cfg      engine.Config
 	analyzer *engine.Analyzer
 	br       breaker
+	// retries counts this program's retried attempts (the per-program
+	// slice of the service-wide Retried counter).
+	retries atomic.Int64
 }
 
 // Service is the supervised analysis service. Create with New, add
 // programs with Register, then call Analyze from any number of
 // goroutines.
 type Service struct {
-	opts  Options
-	log   *slog.Logger
-	start time.Time
+	opts    Options
+	log     *slog.Logger
+	start   time.Time
+	version string
 
 	mu       sync.Mutex
 	programs map[string]*program
@@ -246,6 +267,47 @@ type Service struct {
 	retried    atomic.Int64
 	shed       atomic.Int64
 	breakerRej atomic.Int64
+	// ledgerDenied counts budget denials, ledgerUnavail fail-closed
+	// denials on ledger I/O faults.
+	ledgerDenied  atomic.Int64
+	ledgerUnavail atomic.Int64
+}
+
+// buildVersion resolves the running binary's version: the module version
+// when built from a tagged release, else the VCS revision (shortened),
+// else "unknown" (tests and plain `go run`).
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	var rev string
+	var dirty bool
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			dirty = kv.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		if dirty {
+			rev += "-dirty"
+		}
+		if v == "" || v == "(devel)" {
+			return rev
+		}
+		return v + " (" + rev + ")"
+	}
+	if v == "" {
+		return "unknown"
+	}
+	return v
 }
 
 // New creates a Service with the given options.
@@ -255,6 +317,7 @@ func New(opts Options) *Service {
 		opts:     opts,
 		log:      opts.Logger,
 		start:    opts.Now(),
+		version:  buildVersion(),
 		programs: map[string]*program{},
 		slots:    make(chan struct{}, opts.Workers),
 		rng:      rand.New(rand.NewSource(opts.BackoffSeed)),
@@ -277,6 +340,14 @@ func (s *Service) Register(name string, prog *vm.Program, cfg engine.Config) {
 	}
 	if cfg.Cache == nil {
 		cfg.Cache = s.cache // nil when caching is disabled
+	}
+	if cfg.Fault != nil && cfg.Cache != nil {
+		// Fault injection makes runs non-reproducible, so the engine
+		// refuses to cache them — which silently turns a warm service into
+		// a cold one. Say so once, loudly, at registration.
+		s.log.Warn("fault injection active: stage cache is bypassed for this program; "+
+			"every request takes the slow path (results report cache=bypass/fault-injection)",
+			"program", name)
 	}
 	p := &program{
 		name:     name,
@@ -308,8 +379,9 @@ func (s *Service) lookup(name string) *program {
 	return s.programs[name]
 }
 
-// Analyze serves one request: breaker check, admission, then the run/retry
-// loop on a worker slot. It is safe for concurrent use.
+// Analyze serves one request: ledger charge, breaker check, admission,
+// then the run/retry loop on a worker slot. It is safe for concurrent
+// use.
 func (s *Service) Analyze(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -320,6 +392,83 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*Response, error) {
 	}
 	inj := p.cfg.Fault.Run(0)
 
+	// Leakage-budget gate: charge the pessimistic estimate durably before
+	// anything runs — before even the cache fast path, since a cached
+	// answer reveals the same bits a fresh run would. Whatever the request
+	// then does (hit, run, shed, fail), the charge settles to the bits the
+	// response actually carries: measured bits on success, zero on any
+	// refusal or error (no program output was released).
+	ch, err := s.chargeLedger(p, req, inj)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.serveAdmitted(ctx, p, req, inj)
+	s.settleLedger(ch, resp)
+	return resp, err
+}
+
+// chargeLedger runs the admission-side half of the ledger protocol. A
+// draining service refuses before touching the ledger: no charge, no WAL
+// traffic, the same answer admit() would give a moment later.
+func (s *Service) chargeLedger(p *program, req Request, inj fault.Injection) (*ledger.Charge, error) {
+	if s.opts.Ledger == nil {
+		return nil, nil
+	}
+	if s.draining.Load() {
+		s.logOutcome(p, 0, "draining", 0, ErrDraining, inj)
+		return nil, ErrDraining
+	}
+	principal := req.Principal
+	if principal == "" {
+		principal = "anonymous"
+	}
+	ch, err := s.opts.Ledger.Charge(principal, p.name, ledgerEstimate(req.Inputs))
+	if err == nil {
+		return ch, nil
+	}
+	switch {
+	case errors.Is(err, ledger.ErrBudgetExceeded):
+		s.ledgerDenied.Add(1)
+		s.logOutcome(p, 0, "budget-exceeded", 0, err, inj)
+	case errors.Is(err, ledger.ErrUnavailable):
+		s.ledgerUnavail.Add(1)
+		s.logOutcome(p, 0, "ledger-unavailable", 0, err, inj)
+	default:
+		s.logOutcome(p, 0, "ledger-error", 0, err, inj)
+	}
+	return nil, err
+}
+
+// settleLedger runs the response-side half: settle to the bits actually
+// released. A settle failure never fails the response — the bits are
+// already out — but it is logged loudly; the charge stays pending at its
+// estimate, exactly what a crash-replay would reconstruct.
+func (s *Service) settleLedger(ch *ledger.Charge, resp *Response) {
+	if ch == nil {
+		return
+	}
+	var bits int64
+	if resp != nil && resp.Result != nil {
+		bits = resp.Result.Bits
+	}
+	if err := s.opts.Ledger.Settle(ch, bits); err != nil {
+		s.log.Error("ledger settle failed; charge stays pending at its estimate",
+			"principal", ch.Principal, "program", ch.Program,
+			"estimate_bits", ch.EstimateBits, "actual_bits", bits, "err", err)
+	}
+}
+
+// ledgerEstimate is the pre-run charge: 8 bits per secret byte. Sound
+// because the flow network's source capacity is exactly the secret bytes
+// read (≤ 8·len), and the degraded trivial-cut bound min(source, sink) is
+// no larger.
+func ledgerEstimate(in engine.Inputs) int64 {
+	return 8 * int64(len(in.Secret))
+}
+
+// serveAdmitted is everything past the ledger gate: cache fast path,
+// breaker check, admission, run/retry loop.
+func (s *Service) serveAdmitted(ctx context.Context, p *program, req Request, inj fault.Injection) (*Response, error) {
 	// Warm-program fast path: a full cache hit is answered before the
 	// breaker, the queue, and the worker pool — it costs one lookup and
 	// touches no session. Budget overrides change the result key's config
@@ -435,6 +584,7 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 				scale *= 2
 				d := s.backoff(attempt)
 				s.retried.Add(1)
+				p.retries.Add(1)
 				s.logOutcome(p, attempt, "degraded-retry", lat, nil, inj)
 				s.opts.Sleep(d)
 				continue
@@ -494,6 +644,7 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 			scale *= 2
 		}
 		s.retried.Add(1)
+		p.retries.Add(1)
 		s.logOutcome(p, attempt, "retry", lat, err, inj)
 		s.opts.Sleep(wait)
 	}
@@ -641,57 +792,77 @@ type ProgramStats struct {
 	Name    string `json:"name"`
 	Breaker string `json:"breaker"` // closed, open, half-open
 	// ConsecutiveInternal is the breaker's current ErrInternal streak.
-	ConsecutiveInternal int              `json:"consecutive_internal"`
-	BreakerOpens        int64            `json:"breaker_opens"`
-	Pool                engine.PoolStats `json:"pool"`
+	ConsecutiveInternal int   `json:"consecutive_internal"`
+	BreakerOpens        int64 `json:"breaker_opens"`
+	// Retries is this program's share of the service-wide Retried counter.
+	Retries int64            `json:"retries"`
+	Pool    engine.PoolStats `json:"pool"`
 }
 
 // Stats is the service-wide health snapshot served on /healthz.
 type Stats struct {
-	UptimeMS        int64 `json:"uptime_ms"`
-	Workers         int   `json:"workers"`
-	QueueDepth      int   `json:"queue_depth"`
-	Queued          int64 `json:"queued"`
-	InFlight        int64 `json:"in_flight"`
-	Admitted        int64 `json:"admitted"`
-	Started         int64 `json:"started"` // engine runs, retries included
-	Completed       int64 `json:"completed"`
-	Failed          int64 `json:"failed"`
-	Retried         int64 `json:"retried"`
-	Shed            int64 `json:"shed"`
-	BreakerRejected int64 `json:"breaker_rejected"`
-	EWMALatencyUS   int64 `json:"ewma_latency_us"`
-	Draining        bool  `json:"draining"`
+	// StartTime is when the process's Service was created (RFC 3339);
+	// Version is the build's module version or VCS revision.
+	StartTime       string `json:"start_time"`
+	Version         string `json:"version"`
+	UptimeMS        int64  `json:"uptime_ms"`
+	Workers         int    `json:"workers"`
+	QueueDepth      int    `json:"queue_depth"`
+	Queued          int64  `json:"queued"`
+	InFlight        int64  `json:"in_flight"`
+	Admitted        int64  `json:"admitted"`
+	Started         int64  `json:"started"` // engine runs, retries included
+	Completed       int64  `json:"completed"`
+	Failed          int64  `json:"failed"`
+	Retried         int64  `json:"retried"`
+	Shed            int64  `json:"shed"`
+	BreakerRejected int64  `json:"breaker_rejected"`
+	EWMALatencyUS   int64  `json:"ewma_latency_us"`
+	Draining        bool   `json:"draining"`
 	// CacheFastPath counts requests answered by the warm fast path; they
 	// bypass admission, so they are not part of the admitted/completed
 	// ledger. Cache snapshots the shared stage cache (nil when disabled).
 	CacheFastPath int64             `json:"cache_fast_path"`
 	Cache         *stagecache.Stats `json:"cache,omitempty"`
-	Programs      []ProgramStats    `json:"programs"`
+	// LedgerDenied counts requests denied over leakage budget,
+	// LedgerUnavailable fail-closed denials on ledger I/O faults; Ledger
+	// is the full ledger snapshot (nil when no ledger is configured).
+	LedgerDenied      int64          `json:"ledger_denied"`
+	LedgerUnavailable int64          `json:"ledger_unavailable"`
+	Ledger            *ledger.Stats  `json:"ledger,omitempty"`
+	Programs          []ProgramStats `json:"programs"`
 }
 
 // Stats snapshots the service.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		UptimeMS:        s.opts.Now().Sub(s.start).Milliseconds(),
-		Workers:         s.opts.Workers,
-		QueueDepth:      s.opts.QueueDepth,
-		Queued:          s.queued.Load(),
-		InFlight:        s.inflightN.Load(),
-		Admitted:        s.admitted.Load(),
-		Started:         s.started.Load(),
-		Completed:       s.completed.Load(),
-		Failed:          s.failed.Load(),
-		Retried:         s.retried.Load(),
-		Shed:            s.shed.Load(),
-		BreakerRejected: s.breakerRej.Load(),
-		EWMALatencyUS:   s.EWMALatency().Microseconds(),
-		Draining:        s.draining.Load(),
-		CacheFastPath:   s.cacheFast.Load(),
+		StartTime:         s.start.UTC().Format(time.RFC3339),
+		Version:           s.version,
+		UptimeMS:          s.opts.Now().Sub(s.start).Milliseconds(),
+		Workers:           s.opts.Workers,
+		QueueDepth:        s.opts.QueueDepth,
+		Queued:            s.queued.Load(),
+		InFlight:          s.inflightN.Load(),
+		Admitted:          s.admitted.Load(),
+		Started:           s.started.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		Retried:           s.retried.Load(),
+		Shed:              s.shed.Load(),
+		BreakerRejected:   s.breakerRej.Load(),
+		EWMALatencyUS:     s.EWMALatency().Microseconds(),
+		Draining:          s.draining.Load(),
+		CacheFastPath:     s.cacheFast.Load(),
+		LedgerDenied:      s.ledgerDenied.Load(),
+		LedgerUnavailable: s.ledgerUnavail.Load(),
 	}
 	if s.cache != nil {
 		cst := s.cache.Stats()
 		st.Cache = &cst
+	}
+	if s.opts.Ledger != nil {
+		lst := s.opts.Ledger.Stats()
+		st.Ledger = &lst
 	}
 	s.mu.Lock()
 	progs := make([]*program, 0, len(s.programs))
@@ -707,6 +878,7 @@ func (s *Service) Stats() Stats {
 			Breaker:             snap.State,
 			ConsecutiveInternal: snap.Consecutive,
 			BreakerOpens:        snap.Opens,
+			Retries:             p.retries.Load(),
 			Pool:                p.analyzer.Pool(),
 		})
 	}

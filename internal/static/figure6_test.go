@@ -59,6 +59,7 @@ var fig6Want = map[string]fig6Row{
 	"compress":    {hand: 4, found: 1, expansion: 3, interproc: 0, spans: 1, global: 0, frame: 29, dynamic: 13, calls: 3},
 	"count_punct": {hand: 4, found: 4, expansion: 0, interproc: 0, spans: 2, global: 0, frame: 7, dynamic: 1, calls: 0},
 	"divzero":     {},
+	"guessnum":    {},
 	"imagefilter": {},
 	"interp":      {},
 	"sshauth":     {},
