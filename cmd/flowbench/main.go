@@ -48,6 +48,7 @@ var experimentsByName = []struct {
 	{"cache", "engine: content-addressed cache cold/incremental/warm", runCache},
 	{"ledger", "service: leakage-ledger charge+settle overhead per request", runLedger},
 	{"static", "static analysis: region inference + cross-check", runStatic},
+	{"ladder", "precision ladder: lower/measured/static/trivial tightness per guest", runLadder},
 }
 
 // timingRecord is the machine-readable per-experiment timing emitted by
@@ -76,6 +77,13 @@ type timingRecord struct {
 	ChargeSettleDurableUS float64 `json:"charge_settle_durable_us,omitempty"`
 	ChargeSettleSyncedUS  float64 `json:"charge_settle_synced_us,omitempty"`
 	DeniedUS              float64 `json:"denied_us,omitempty"`
+	// The ladder experiment's gap-demo bounds (bits per rung) and the
+	// summed per-rung analysis latencies across the corpus.
+	TrivialBits  int64   `json:"trivial_bits,omitempty"`
+	StaticBits   int64   `json:"static_bits,omitempty"`
+	MeasuredBits int64   `json:"measured_bits,omitempty"`
+	StaticUS     float64 `json:"static_us,omitempty"`
+	FullUS       float64 `json:"full_us,omitempty"`
 }
 
 // staticTotals carries the static experiment's counts from its run
@@ -97,6 +105,13 @@ var cacheTotals struct {
 // ledgerTotals carries the ledger experiment's per-request overheads (µs).
 var ledgerTotals struct {
 	volatileUS, lazyUS, syncUS, deniedUS float64
+}
+
+// ladderTotals carries the ladder experiment's gap-demo bounds and
+// summed per-rung latencies.
+var ladderTotals struct {
+	trivialBits, staticBits, measuredBits int64
+	fullUS, staticUS                      float64
 }
 
 func main() {
@@ -156,6 +171,11 @@ func main() {
 			if e.name == "ledger" {
 				rec.ChargeSettleUS, rec.ChargeSettleDurableUS = ledgerTotals.volatileUS, ledgerTotals.lazyUS
 				rec.ChargeSettleSyncedUS, rec.DeniedUS = ledgerTotals.syncUS, ledgerTotals.deniedUS
+			}
+			if e.name == "ladder" {
+				rec.TrivialBits, rec.StaticBits = ladderTotals.trivialBits, ladderTotals.staticBits
+				rec.MeasuredBits = ladderTotals.measuredBits
+				rec.FullUS, rec.StaticUS = ladderTotals.fullUS, ladderTotals.staticUS
 			}
 			timings = append(timings, rec)
 			fmt.Println()
@@ -407,6 +427,30 @@ func runStatic(_ []int) {
 	regions, findings := experiments.StaticTotals(rows)
 	staticTotals.regions, staticTotals.findings = regions, findings
 	fmt.Printf("total: %d inferred regions, %d cross-check findings (want 0)\n", regions, findings)
+}
+
+func runLadder(_ []int) {
+	rows := experiments.Ladder()
+	fmt.Printf("%-12s %8s %9s %9s %9s %9s %11s %11s %11s\n",
+		"guest", "secret", "lower", "measured", "static", "trivial", "t(trivial)", "t(static)", "t(full)")
+	for _, r := range rows {
+		lower := fmt.Sprintf("%.1f", r.LowerBits)
+		if !r.Exhaustive {
+			lower += "*"
+		}
+		fmt.Printf("%-12s %7dB %9s %9d %9d %9d %11s %11s %11s\n",
+			r.Guest, r.SecretBytes, lower, r.MeasuredBits, r.StaticBits, r.TrivialBits,
+			r.TrivialTime.Round(time.Microsecond), r.StaticTime.Round(time.Microsecond),
+			r.FullTime.Round(time.Microsecond))
+	}
+	t, s, m, fullUS, staticUS := experiments.LadderTotals(rows)
+	ladderTotals.trivialBits, ladderTotals.staticBits, ladderTotals.measuredBits = t, s, m
+	ladderTotals.fullUS, ladderTotals.staticUS = fullUS, staticUS
+	fmt.Printf("gap demo (%dB secret, 4 bytes read): trivial %d > static %d > measured %d bits\n",
+		experiments.LadderGapSecretBytes, t, s, m)
+	fmt.Println("(* = sampled lower bound: the behavior enumeration covered part of the domain;")
+	fmt.Println(" soundness requires measured <= static <= trivial and lower <= static on every")
+	fmt.Println(" row; lower may exceed single-run measured — the §3.2 caveat, see unary)")
 }
 
 func runCollapse(sizes []int) {

@@ -212,7 +212,13 @@ func cmdRun(args []string) error {
 	maxGraphEdges := fs.Int("max-graph-edges", 0, "fail a run whose flow graph exceeds this many edges (0 = unlimited)")
 	maxOutputBytes := fs.Int("max-output-bytes", 0, "fail a run whose public output exceeds this many bytes (0 = unlimited)")
 	solverBudget := fs.Int64("solver-budget", 0, "max-flow work budget in arc examinations; exhaustion degrades to the trivial-cut bound (0 = unlimited)")
+	precision := fs.String("precision", "", "precision ladder rung: trivial|static|full|adaptive (trivial/static answer a sound upper bound with no execution)")
+	threshold := fs.Int64("threshold", 0, "adaptive precision: run the full solve only while the cheap bound exceeds this many bits")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prec, err := core.ParsePrecision(*precision)
+	if err != nil {
 		return err
 	}
 	prog, in, err := inputs.load(fs)
@@ -220,11 +226,13 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg := core.Config{
-		Taint:    taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
-		Lint:     *lint,
-		Workers:  *workers,
-		MaxSteps: *maxSteps,
-		Compact:  *compact,
+		Taint:             taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
+		Lint:              *lint,
+		Workers:           *workers,
+		MaxSteps:          *maxSteps,
+		Compact:           *compact,
+		Precision:         prec,
+		AdaptiveThreshold: *threshold,
 		Budget: core.Budget{
 			MaxGraphNodes:  *maxGraphNodes,
 			MaxGraphEdges:  *maxGraphEdges,
@@ -296,9 +304,14 @@ func cmdRun(args []string) error {
 		fmt.Printf("note: guest trapped: %v (results cover the partial run)\n", res.Trap)
 	}
 	if res.Degraded {
-		fmt.Printf("DEGRADED: %s; reporting the trivial-cut upper bound instead of max flow\n", res.DegradedReason)
+		if res.Graph == nil {
+			// A ladder rung answered without executing: a note, not a failure.
+			fmt.Printf("note: %s\n", res.DegradedReason)
+		} else {
+			fmt.Printf("DEGRADED: %s; reporting the trivial-cut upper bound instead of max flow\n", res.DegradedReason)
+		}
 	}
-	if *showOut {
+	if *showOut && res.Graph != nil {
 		fmt.Printf("output (%d bytes): %q\n", len(res.Output), abbrev(res.Output))
 	}
 	secretBytes := len(in.Secret)
@@ -310,15 +323,20 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("secret input: %d bytes; tainted output bound: %d bits\n",
 		secretBytes, res.TaintedOutputBits)
-	if res.Degraded {
+	switch {
+	case res.Graph == nil:
+		fmt.Printf("upper bound (%s rung): %d bits\n", res.Rung, res.Bits)
+	case res.Degraded:
 		fmt.Printf("flow bound (trivial-cut fallback): %d bits\n", res.Bits)
 		fmt.Println("minimum cut: unavailable (solve degraded)")
-	} else {
+	default:
 		fmt.Printf("maximum flow: %d bits\n", res.Bits)
 		fmt.Printf("minimum cut: %s\n", res.CutString())
 	}
-	fmt.Printf("graph: %d nodes, %d edges; %d steps executed\n",
-		res.Graph.NumNodes(), res.Graph.NumEdges(), res.Steps)
+	if res.Graph != nil {
+		fmt.Printf("graph: %d nodes, %d edges; %d steps executed\n",
+			res.Graph.NumNodes(), res.Graph.NumEdges(), res.Steps)
+	}
 	if m := res.Mem; m.CompactionPasses > 0 {
 		fmt.Printf("memory: peak %d live edges of %d emitted (%.1fx); %d compaction passes reclaimed %d edges\n",
 			m.PeakLiveEdges, m.TotalEdges, float64(m.TotalEdges)/float64(m.PeakLiveEdges),
@@ -362,7 +380,9 @@ func cmdRun(args []string) error {
 		}
 		fmt.Println("lint: cross-check clean")
 	}
-	if *dot != "" {
+	if *dot != "" && res.Graph == nil {
+		fmt.Println("note: no flow graph to dump (rung answer, no execution); skipping -dot")
+	} else if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
 			return err

@@ -9,25 +9,64 @@
 //
 // Usage:
 //
-//	flowlint [-v] [guest ...]
+//	flowlint [-v] [-json] [guest ...]
 //
-// With no arguments it lints every guest program. Exit status 1 means at
-// least one finding (or a failed run).
+// With no arguments it lints every guest program. -json writes one JSON
+// document to stdout: per-guest static statistics (including the static
+// leakage bound) and every finding with its file:line location, kind,
+// and innermost inferred-region id. Exit status 1 means at least one
+// finding (or a failed run).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"flowcheck/internal/engine"
 	"flowcheck/internal/guest"
+	"flowcheck/internal/static"
 )
+
+// guestJSON is one guest's machine-readable lint record.
+type guestJSON struct {
+	Name       string `json:"name"`
+	Funcs      int    `json:"funcs"`
+	Blocks     int    `json:"blocks"`
+	Branches   int    `json:"branches"`
+	Regions    int    `json:"regions"`
+	Enclosures int    `json:"enclosures"`
+	// StaticBits is the static capacity bound for the guest's sample
+	// secret; TrivialBits is 8·len(secret).
+	StaticBits  int64  `json:"static_bits"`
+	TrivialBits int64  `json:"trivial_bits"`
+	Findings    int    `json:"findings"`
+	Err         string `json:"error,omitempty"`
+}
+
+// findingJSON is one cross-check violation, located for machines.
+type findingJSON struct {
+	Guest string `json:"guest"`
+	Kind  string `json:"kind"`
+	PC    int    `json:"pc"`
+	Where string `json:"where"` // file:line(func)
+	// Region is the index of the innermost inferred region containing PC
+	// in the guest's static analysis, or -1 if no region covers it.
+	Region int    `json:"region"`
+	Msg    string `json:"msg"`
+}
+
+type reportJSON struct {
+	Guests   []guestJSON   `json:"guests"`
+	Findings []findingJSON `json:"findings"`
+}
 
 func main() {
 	verbose := flag.Bool("v", false, "print per-guest static statistics")
+	jsonOut := flag.Bool("json", false, "write a machine-readable JSON report to stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flowlint [-v] [guest ...]\n\nguests: %v\n", guest.Names())
+		fmt.Fprintf(os.Stderr, "usage: flowlint [-v] [-json] [guest ...]\n\nguests: %v\n", guest.Names())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,10 +76,23 @@ func main() {
 		names = guest.Names()
 	}
 
+	rep := reportJSON{Findings: []findingJSON{}} // "findings": [] even when clean
 	failed := false
 	for _, name := range names {
-		if err := lintOne(name, *verbose); err != nil {
+		g, findings, err := lintOne(name, *verbose, *jsonOut)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "flowlint: %s: %v\n", name, err)
+			g.Err = err.Error()
+			failed = true
+		}
+		rep.Guests = append(rep.Guests, g)
+		rep.Findings = append(rep.Findings, findings...)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "flowlint:", err)
 			failed = true
 		}
 	}
@@ -49,35 +101,74 @@ func main() {
 	}
 }
 
-func lintOne(name string, verbose bool) error {
+func lintOne(name string, verbose, jsonOut bool) (guestJSON, []findingJSON, error) {
+	g := guestJSON{Name: name}
 	secret, public, ok := guest.SampleInputs(name)
 	if !ok {
-		return fmt.Errorf("unknown guest (have %v)", guest.Names())
+		return g, nil, fmt.Errorf("unknown guest (have %v)", guest.Names())
 	}
 	prog := guest.Program(name)
 
 	a := engine.New(prog, engine.Config{Lint: true})
+	sa := a.Static()
+	g.TrivialBits = engine.TrivialBoundBits(len(secret))
+	g.StaticBits = a.StaticBoundBits(len(secret))
+
 	res, err := a.Analyze(engine.Inputs{Secret: secret, Public: public})
 	if err != nil {
-		return fmt.Errorf("analysis failed: %w", err)
+		return g, nil, fmt.Errorf("analysis failed: %w", err)
 	}
 	if res.Trap != nil {
-		return fmt.Errorf("guest trapped: %w", res.Trap)
+		return g, nil, fmt.Errorf("guest trapped: %w", res.Trap)
 	}
 
 	st := res.StaticStats
-	if verbose {
-		fmt.Printf("%-12s %3d funcs %4d blocks %4d branches %4d regions %2d enclosures  (static %v)\n",
-			name, st.Funcs, st.Blocks, st.Branches, st.Regions, st.Enclosures, res.Stages.Static)
+	g.Funcs, g.Blocks, g.Branches = st.Funcs, st.Blocks, st.Branches
+	g.Regions, g.Enclosures = st.Regions, st.Enclosures
+	g.Findings = len(res.Lint)
+
+	var findings []findingJSON
+	for _, f := range res.Lint {
+		findings = append(findings, findingJSON{
+			Guest:  name,
+			Kind:   f.Kind.String(),
+			PC:     f.PC,
+			Where:  f.Where,
+			Region: regionID(sa, f.PC),
+			Msg:    f.Msg,
+		})
 	}
-	if len(res.Lint) == 0 {
-		if !verbose {
+
+	if !jsonOut {
+		if verbose {
+			fmt.Printf("%-12s %3d funcs %4d blocks %4d branches %4d regions %2d enclosures  static %4d bits (trivial %4d)  (static %v)\n",
+				name, st.Funcs, st.Blocks, st.Branches, st.Regions, st.Enclosures,
+				g.StaticBits, g.TrivialBits, res.Stages.Static)
+		}
+		if len(res.Lint) == 0 && !verbose {
 			fmt.Printf("%-12s ok (%d regions, %d enclosures)\n", name, st.Regions, st.Enclosures)
 		}
-		return nil
+		for _, f := range res.Lint {
+			fmt.Printf("%s: %s\n", name, f)
+		}
 	}
-	for _, f := range res.Lint {
-		fmt.Printf("%s: %s\n", name, f)
+	if len(res.Lint) > 0 {
+		return g, findings, fmt.Errorf("%d cross-check finding(s)", len(res.Lint))
 	}
-	return fmt.Errorf("%d cross-check finding(s)", len(res.Lint))
+	return g, findings, nil
+}
+
+// regionID locates the innermost inferred region containing pc by its
+// index in the analysis's region list, or -1 when uncovered.
+func regionID(sa *static.Analysis, pc int) int {
+	rs := sa.RegionsAt(pc)
+	if len(rs) == 0 {
+		return -1
+	}
+	for i, r := range sa.Regions {
+		if r == rs[0] {
+			return i
+		}
+	}
+	return -1
 }

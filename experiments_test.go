@@ -327,3 +327,33 @@ func TestE18Compaction(t *testing.T) {
 		}
 	}
 }
+
+// E20 — precision-ladder tightness: on every corpus row the rungs order
+// soundly (measured ≤ static ≤ trivial, behavior lower bound ≤ static),
+// and the synthetic gap row separates the three rungs cleanly (a 4-byte
+// read of a 64-byte secret: trivial 512, static 32, measured 8).
+func TestE20Ladder(t *testing.T) {
+	rows := experiments.Ladder()
+	var gap *experiments.LadderRow
+	for i := range rows {
+		r := &rows[i]
+		if r.MeasuredBits > r.StaticBits || r.StaticBits > r.TrivialBits {
+			t.Errorf("%s: rung ordering violated: measured %d, static %d, trivial %d",
+				r.Guest, r.MeasuredBits, r.StaticBits, r.TrivialBits)
+		}
+		if r.LowerBits > float64(r.StaticBits)+1e-9 {
+			t.Errorf("%s: behavior lower bound %.2f exceeds static bound %d",
+				r.Guest, r.LowerBits, r.StaticBits)
+		}
+		if r.Guest == "gap-demo" {
+			gap = r
+		}
+	}
+	if gap == nil {
+		t.Fatal("no gap-demo row")
+	}
+	if gap.TrivialBits != 512 || gap.StaticBits != 32 || gap.MeasuredBits != 8 {
+		t.Errorf("gap demo = %d/%d/%d bits (trivial/static/measured), want 512/32/8",
+			gap.TrivialBits, gap.StaticBits, gap.MeasuredBits)
+	}
+}

@@ -67,7 +67,39 @@ type (
 	Finding = core.Finding
 	// StaticStats summarizes the static pre-pass behind Config.Lint.
 	StaticStats = core.StaticStats
+	// Precision selects the ladder rung an analysis answers from
+	// (Config.Precision): a sound static bound with no execution, or the
+	// full measured solve.
+	Precision = core.Precision
 )
+
+// Precision-ladder modes for Config.Precision, and the rung names
+// recorded in Result.Rung.
+const (
+	// PrecisionFull always runs the full dynamic solve (the default).
+	PrecisionFull = core.PrecisionFull
+	// PrecisionTrivial answers 8·len(secret) bits with no execution.
+	PrecisionTrivial = core.PrecisionTrivial
+	// PrecisionStatic answers the static capacity bound with no execution.
+	PrecisionStatic = core.PrecisionStatic
+	// PrecisionAdaptive answers the cheapest rung whose bound is at most
+	// Config.AdaptiveThreshold bits, escalating to the full solve last.
+	PrecisionAdaptive = core.PrecisionAdaptive
+
+	// RungTrivial marks an 8·len(secret) answer.
+	RungTrivial = core.RungTrivial
+	// RungStatic marks a static capacity-bound answer, no execution.
+	RungStatic = core.RungStatic
+	// RungFull marks a solved maximum flow.
+	RungFull = core.RungFull
+)
+
+// ParsePrecision parses a precision name ("", "full", "trivial",
+// "static", "adaptive") into a Precision.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
+// TrivialBoundBits is the trivial rung's bound: 8·secretLen bits.
+func TrivialBoundBits(secretLen int) int64 { return core.TrivialBoundBits(secretLen) }
 
 // The failure taxonomy: every analysis failure matches exactly one of
 // these via errors.Is. Guest traps are reported on Result.Trap (the

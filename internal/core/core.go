@@ -80,7 +80,42 @@ type (
 	CacheKindStats = stagecache.KindStats
 	// CacheTrace is a result's cache provenance (Result.Cache).
 	CacheTrace = engine.CacheTrace
+	// Precision selects the ladder rung an analysis answers from
+	// (Config.Precision): a sound static bound with no execution, or the
+	// full measured solve.
+	Precision = engine.Precision
 )
+
+// Precision-ladder modes for Config.Precision.
+const (
+	// PrecisionFull always runs the full dynamic solve (the default).
+	PrecisionFull = engine.PrecisionFull
+	// PrecisionTrivial answers 8·len(secret) bits with no execution.
+	PrecisionTrivial = engine.PrecisionTrivial
+	// PrecisionStatic answers the static capacity bound with no execution.
+	PrecisionStatic = engine.PrecisionStatic
+	// PrecisionAdaptive answers the cheapest rung whose bound is at most
+	// Config.AdaptiveThreshold bits, escalating to the full solve last.
+	PrecisionAdaptive = engine.PrecisionAdaptive
+)
+
+// Ladder rungs recorded in Result.Rung.
+const (
+	// RungTrivial marks an 8·len(secret) answer (also solver-budget
+	// degradations, which carry a non-nil Graph).
+	RungTrivial = engine.RungTrivial
+	// RungStatic marks a static capacity-bound answer, no execution.
+	RungStatic = engine.RungStatic
+	// RungFull marks a solved maximum flow.
+	RungFull = engine.RungFull
+)
+
+// ParsePrecision parses a precision name ("", "full", "trivial",
+// "static", "adaptive") into a Precision.
+func ParsePrecision(s string) (Precision, error) { return engine.ParsePrecision(s) }
+
+// TrivialBoundBits is the trivial rung's bound: 8·secretLen bits.
+func TrivialBoundBits(secretLen int) int64 { return engine.TrivialBoundBits(secretLen) }
 
 // Cache dispositions recorded in Result.Cache.Disposition.
 const (

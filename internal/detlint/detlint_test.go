@@ -1,0 +1,130 @@
+package detlint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The determinism-critical packages must lint clean: merged graphs are
+// cached content-addressed and cache keys are content addresses. CI runs
+// this test in the static job.
+func TestDeterminismClean(t *testing.T) {
+	for _, dir := range []string{"../merge", "../cachekey"} {
+		fs, err := CheckDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fs, err := CheckSource("fixture.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func kinds(fs []Finding) string {
+	var ks []string
+	for _, f := range fs {
+		ks = append(ks, f.Kind)
+	}
+	return strings.Join(ks, ",")
+}
+
+func TestFlagsTimeNow(t *testing.T) {
+	fs := check(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+func g(t0 time.Time) time.Duration { return time.Since(t0) }
+`)
+	if kinds(fs) != "time-now,time-now" {
+		t.Fatalf("findings = %v, want two time-now", fs)
+	}
+	if !strings.Contains(fs[0].Pos, "fixture.go:3") {
+		t.Errorf("first finding at %s, want line 3", fs[0].Pos)
+	}
+}
+
+func TestFlagsRenamedTimeImport(t *testing.T) {
+	fs := check(t, `package p
+import clock "time"
+func f() clock.Time { return clock.Now() }
+`)
+	if kinds(fs) != "time-now" {
+		t.Fatalf("findings = %v, want one time-now through the renamed import", fs)
+	}
+}
+
+func TestIgnoresShadowedTime(t *testing.T) {
+	fs := check(t, `package p
+type fake struct{}
+func (fake) Now() int { return 0 }
+func f() int {
+	time := fake{}
+	return time.Now()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none: no time import, local shadow", fs)
+	}
+}
+
+func TestFlagsMapRanges(t *testing.T) {
+	fs := check(t, `package p
+var global map[string]int
+func f(param map[int]bool) {
+	for range param {
+	}
+	local := make(map[string]int)
+	for k := range local {
+		_ = k
+	}
+	lit := map[string]int{"a": 1}
+	for k, v := range lit {
+		_, _ = k, v
+	}
+	for range map[int]int{1: 2} {
+	}
+	for range make(map[int]int) {
+	}
+	for range global {
+	}
+}
+`)
+	if len(fs) != 6 {
+		t.Fatalf("findings = %v (%d), want 6 map-range", fs, len(fs))
+	}
+	for _, f := range fs {
+		if f.Kind != "map-range" {
+			t.Errorf("finding %v, want map-range", f)
+		}
+	}
+}
+
+func TestIgnoresSliceRanges(t *testing.T) {
+	fs := check(t, `package p
+func f(xs []int, s string, n int) {
+	for i := range xs {
+		_ = i
+	}
+	for _, c := range s {
+		_ = c
+	}
+	for i := range n {
+		_ = i
+	}
+	ys := make([]int, 4)
+	for range ys {
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %v, want none over slices/strings/ints", fs)
+	}
+}

@@ -127,6 +127,9 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("engine: no inputs")
 	}
+	if res, ok := a.ladderMulti(inputs); ok {
+		return res, nil
+	}
 	start := time.Now()
 	// The merge and joint solve below run outside runStages' recovery;
 	// guard them with the same stage-boundary contract so an internal
@@ -201,12 +204,16 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 
 	taintedOut := taintedOutputBits(joint)
 	bits := trivialCutBits(joint)
+	rung := RungFull
 	if flow != nil {
 		bits = flow.Flow
+	} else {
+		rung = RungTrivial // joint solver-budget fallback: trivial cut
 	}
 
 	res = &Result{
 		Bits:              bits,
+		Rung:              rung,
 		TaintedOutputBits: taintedOut,
 		Graph:             joint,
 		Flow:              flow,

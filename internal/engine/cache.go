@@ -152,7 +152,9 @@ func (a *Analyzer) configKey() cachekey.Key {
 	h.Int(int64(a.cfg.Algorithm)).
 		Int(int64(a.cfg.MemSize)).
 		Uint(a.cfg.MaxSteps).
-		Bool(a.cfg.Lint)
+		Bool(a.cfg.Lint).
+		Int(int64(a.cfg.Precision)).
+		Int(a.cfg.AdaptiveThreshold)
 	b := a.cfg.Budget
 	h.Int(int64(b.MaxGraphNodes)).
 		Int(int64(b.MaxGraphEdges)).
@@ -312,6 +314,10 @@ func estimateStaticBytes(sa *static.Analysis) int64 {
 	n += int64(sa.Stats.Enclosures) * 32
 	if sa.Prog != nil {
 		n += int64(len(sa.Prog.Code)) / 8 // covered-pc bitset
+	}
+	if sa.Bound != nil {
+		n += int64(len(sa.Bound.Channels)) * perDiagBytes
+		n += int64(len(sa.Bound.Notes)) * perDiagBytes
 	}
 	return n
 }

@@ -85,6 +85,19 @@ type Config struct {
 	// Result.Lint. Adds the Static stage duration to Result.Stages on the
 	// run that actually paid for the pass.
 	Lint bool
+	// Precision selects the rung of the precision ladder (see ladder.go):
+	// PrecisionFull (the zero value) runs the dynamic pipeline;
+	// PrecisionTrivial and PrecisionStatic answer a sound upper bound with
+	// no execution and no session (the static rung rides the process-global
+	// static cache); PrecisionAdaptive runs the cheapest rung whose bound
+	// is ≤ AdaptiveThreshold and escalates to the full solve only when both
+	// cheap rungs exceed it. Rung answers set Result.Rung and
+	// Result.Degraded and carry no graph, flow, or cut. AnalyzeClasses
+	// ignores Precision: per-class bounds need the per-class flows.
+	Precision Precision
+	// AdaptiveThreshold is PrecisionAdaptive's escalation threshold in
+	// bits: a cheap rung's bound at or below it is considered good enough.
+	AdaptiveThreshold int64
 	// Cache, when non-nil, content-addresses the pipeline: single-run
 	// results are keyed by (program, config, inputs) and full hits are
 	// returned without touching a session, while the collapsed-graph
@@ -440,11 +453,19 @@ func (a *Analyzer) runStages(ctx context.Context, s *session, tr *taint.Tracker,
 	}
 	taintedOut := taintedOutputBits(g)
 	bits := trivialCutBits(g)
+	rung := RungFull
 	if flow != nil {
 		bits = flow.Flow
+	} else {
+		// Solver-budget degradation falls back to the trivial cut of the
+		// executed run's graph: record the rung so batch summaries can tell
+		// it apart from a full solve (and from no-execution rung answers,
+		// which never reach runStages).
+		rung = RungTrivial
 	}
 	res = &Result{
 		Bits:              bits,
+		Rung:              rung,
 		TaintedOutputBits: taintedOut,
 		Graph:             g,
 		Flow:              flow,
@@ -488,6 +509,12 @@ func (a *Analyzer) Analyze(in Inputs) (*Result, error) {
 // key are collapsed to a single computation, and a miss that reuses the
 // cached graph skeleton reports "incremental". Errors are never cached.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, in Inputs) (*Result, error) {
+	// Cheap ladder rungs never execute, never draw a session, and skip the
+	// result cache: the static rung is already served by the process-global
+	// static cache, so a warm answer is a lookup plus arithmetic.
+	if res, ok := a.ladderResult(in); ok {
+		return res, nil
+	}
 	if !a.cacheable() {
 		res, err := a.analyzeDirect(ctx, in)
 		if err == nil && a.cfg.Cache != nil {
@@ -570,6 +597,9 @@ func (a *Analyzer) AnalyzeMulti(inputs []Inputs) (*Result, error) {
 func (a *Analyzer) AnalyzeMultiContext(ctx context.Context, inputs []Inputs) (*Result, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("engine: no inputs")
+	}
+	if res, ok := a.ladderMulti(inputs); ok {
+		return res, nil
 	}
 	s := a.acquire()
 	defer a.release(s)

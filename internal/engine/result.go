@@ -36,12 +36,21 @@ type Result struct {
 	Steps    uint64
 	Trap     error // non-nil if the guest trapped (result still sound for the partial run)
 
-	// Degraded reports that the solver work budget ran out and Bits fell
-	// back to the trivial-cut upper bound — the smaller of all capacity
-	// leaving Source and all capacity entering Sink; still sound, just
-	// looser — with no cut available. DegradedReason says why.
+	// Degraded reports that Bits is a sound but loose upper bound rather
+	// than a solved max flow: either the solver work budget ran out and the
+	// executed run fell back to its trivial-cut bound, or a cheap precision
+	// rung (Config.Precision) answered without executing at all. Rung tells
+	// the two apart and DegradedReason says why.
 	Degraded       bool
 	DegradedReason string
+
+	// Rung records which precision-ladder rung produced Bits: RungFull for
+	// a solved max flow, RungTrivial for the trivial bound (both the
+	// no-execution trivial rung and a solver-budget degradation, which
+	// executed — distinguishable by Graph being non-nil), RungStatic for
+	// the no-execution static capacity bound. Empty only on zero-valued
+	// Results.
+	Rung string
 
 	Warnings  []taint.Warning
 	Snapshots []taint.Snapshot
@@ -99,6 +108,10 @@ type RunSummary struct {
 	// Degraded reports whether the run's standalone solve fell back to
 	// the trivial-cut bound.
 	Degraded bool
+	// Rung is the precision-ladder rung that produced the run's bound
+	// (see Result.Rung), so batch summaries can tell a budget-degraded
+	// full solve from a deliberate cheap-rung answer.
+	Rung string
 	// Err is the typed failure that excluded this run from a batch merge
 	// (ErrCanceled, ErrBudget, ErrInternal, or the trap itself); nil for
 	// runs that contribute to the joint bound.
@@ -114,6 +127,7 @@ func summarize(run int, r *Result) RunSummary {
 		ExitCode:    r.ExitCode,
 		Trapped:     r.Trap != nil,
 		Degraded:    r.Degraded,
+		Rung:        r.Rung,
 	}
 }
 

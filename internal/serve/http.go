@@ -38,22 +38,34 @@ type AnalyzeRequest struct {
 	MaxGraphEdges  int   `json:"max_graph_edges,omitempty"`
 	MaxOutputBytes int   `json:"max_output_bytes,omitempty"`
 	SolverBudget   int64 `json:"solver_budget,omitempty"`
+
+	// Precision picks the ladder rung: "trivial", "static", "full", or
+	// "adaptive" (empty keeps the program's configured mode). Trivial and
+	// static answer a sound upper bound with no execution; adaptive
+	// escalates to the full solve only while the cheap bound exceeds
+	// AdaptiveThreshold bits.
+	Precision         string `json:"precision,omitempty"`
+	AdaptiveThreshold int64  `json:"adaptive_threshold,omitempty"`
 }
 
 // AnalyzeResponse is the JSON body of a served analysis.
 type AnalyzeResponse struct {
-	Program           string  `json:"program"`
-	Bits              int64   `json:"bits"`
-	TaintedOutputBits int64   `json:"tainted_output_bits"`
-	Degraded          bool    `json:"degraded"`
-	DegradedReason    string  `json:"degraded_reason,omitempty"`
-	Trapped           bool    `json:"trapped"`
-	Trap              string  `json:"trap,omitempty"`
-	Cut               string  `json:"cut,omitempty"`
-	Steps             uint64  `json:"steps"`
-	OutputBytes       int     `json:"output_bytes"`
-	Attempts          int     `json:"attempts"`
-	LatencyMS         float64 `json:"latency_ms"`
+	Program           string `json:"program"`
+	Bits              int64  `json:"bits"`
+	TaintedOutputBits int64  `json:"tainted_output_bits"`
+	Degraded          bool   `json:"degraded"`
+	DegradedReason    string `json:"degraded_reason,omitempty"`
+	// Rung is the precision-ladder rung that produced Bits ("trivial",
+	// "static", "full"); also the X-Flow-Rung response header. Cheap-rung
+	// answers report degraded=true with zero steps: nothing executed.
+	Rung        string  `json:"rung,omitempty"`
+	Trapped     bool    `json:"trapped"`
+	Trap        string  `json:"trap,omitempty"`
+	Cut         string  `json:"cut,omitempty"`
+	Steps       uint64  `json:"steps"`
+	OutputBytes int     `json:"output_bytes"`
+	Attempts    int     `json:"attempts"`
+	LatencyMS   float64 `json:"latency_ms"`
 	// Cache is the request's cache disposition ("hit", "miss",
 	// "incremental", "bypass"; empty when caching is disabled). Also
 	// exposed as the X-Flow-Cache response header. Attempts is 0 for
@@ -117,9 +129,11 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		principal = h
 	}
 	sreq := Request{
-		Program:   req.Program,
-		Principal: principal,
-		Inputs:    engine.Inputs{Secret: secret, Public: public},
+		Program:           req.Program,
+		Principal:         principal,
+		Inputs:            engine.Inputs{Secret: secret, Public: public},
+		Precision:         req.Precision,
+		AdaptiveThreshold: req.AdaptiveThreshold,
 	}
 	if req.MaxGraphNodes > 0 || req.MaxGraphEdges > 0 || req.MaxOutputBytes > 0 || req.SolverBudget > 0 {
 		sreq.Budget = &engine.Budget{
@@ -147,6 +161,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		TaintedOutputBits: res.TaintedOutputBits,
 		Degraded:          res.Degraded,
 		DegradedReason:    res.DegradedReason,
+		Rung:              res.Rung,
 		Trapped:           res.Trap != nil,
 		Steps:             res.Steps,
 		OutputBytes:       len(res.Output),
@@ -158,6 +173,9 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Cut != nil {
 		out.Cut = res.CutString()
+	}
+	if res.Rung != "" {
+		w.Header().Set("X-Flow-Rung", res.Rung)
 	}
 	if res.Cache.Disposition != "" {
 		out.Cache = res.Cache.Disposition
@@ -210,14 +228,16 @@ type statzService struct {
 // and the leakage-budget ledger (bits per query, cumulative vs. budget,
 // principals near threshold).
 func (s *Service) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
 	resp := struct {
-		Service       statzService   `json:"service"`
-		CacheEnabled  bool           `json:"cache_enabled"`
-		CacheFastPath int64          `json:"cache_fast_path"`
-		Cache         *statzCache    `json:"cache,omitempty"`
-		GlobalCache   statzCache     `json:"global_cache"`
-		Programs      []ProgramStats `json:"programs"`
-		Ledger        *ledger.Stats  `json:"ledger,omitempty"`
+		Service       statzService     `json:"service"`
+		CacheEnabled  bool             `json:"cache_enabled"`
+		CacheFastPath int64            `json:"cache_fast_path"`
+		Cache         *statzCache      `json:"cache,omitempty"`
+		GlobalCache   statzCache       `json:"global_cache"`
+		Rungs         map[string]int64 `json:"rungs"`
+		Programs      []ProgramStats   `json:"programs"`
+		Ledger        *ledger.Stats    `json:"ledger,omitempty"`
 	}{
 		Service: statzService{
 			StartTime: s.start.UTC().Format(time.RFC3339),
@@ -228,7 +248,12 @@ func (s *Service) handleStatz(w http.ResponseWriter, r *http.Request) {
 		CacheEnabled:  s.cache != nil,
 		CacheFastPath: s.cacheFast.Load(),
 		GlobalCache:   renderStatz(engine.GlobalCacheStats()),
-		Programs:      s.Stats().Programs,
+		Rungs: map[string]int64{
+			engine.RungTrivial: st.RungTrivial,
+			engine.RungStatic:  st.RungStatic,
+			engine.RungFull:    st.RungFull,
+		},
+		Programs: st.Programs,
 	}
 	if s.cache != nil {
 		sc := renderStatz(s.cache.Stats())
@@ -263,6 +288,8 @@ func httpStatus(err error) (int, string) {
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrUnknownProgram):
 		return http.StatusNotFound, "unknown-program"
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, "bad-request"
 	case errors.Is(err, ledger.ErrBudgetExceeded):
 		// 429: the principal, not the service, is out of capacity.
 		return http.StatusTooManyRequests, "budget-exceeded"

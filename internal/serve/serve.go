@@ -65,6 +65,9 @@ var (
 	ErrDraining = errors.New("serve: draining")
 	// ErrUnknownProgram marks a request naming an unregistered program.
 	ErrUnknownProgram = errors.New("serve: unknown program")
+	// ErrBadRequest marks a malformed request field (e.g. an unknown
+	// precision name) — refused before the ledger or any analysis.
+	ErrBadRequest = errors.New("serve: bad request")
 )
 
 // OverloadError says why admission refused a request.
@@ -199,6 +202,15 @@ type Request struct {
 	// this request (served by a one-off analyzer, bypassing the session
 	// pool). Budget-growth retries still apply on top of it.
 	Budget *engine.Budget
+	// Precision, when non-empty, overrides the program's precision-ladder
+	// mode for this request: "trivial", "static", "full", or "adaptive"
+	// (engine.ParsePrecision). Like Budget, a precision override is served
+	// by a one-off analyzer; the cheap rungs never execute the guest, and
+	// the static rung answers from the process-global static cache.
+	Precision string
+	// AdaptiveThreshold is the adaptive mode's escalation threshold in
+	// bits: the full solve runs only while the cheap bounds exceed it.
+	AdaptiveThreshold int64
 }
 
 // Response is a served analysis result.
@@ -271,6 +283,11 @@ type Service struct {
 	// denials on ledger I/O faults.
 	ledgerDenied  atomic.Int64
 	ledgerUnavail atomic.Int64
+	// rung counters attribute successful responses (cache hits included)
+	// to the precision-ladder rung that produced their bound.
+	rungTrivial atomic.Int64
+	rungStatic  atomic.Int64
+	rungFull    atomic.Int64
 }
 
 // buildVersion resolves the running binary's version: the module version
@@ -390,6 +407,9 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*Response, error) {
 	if p == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, req.Program)
 	}
+	if _, err := engine.ParsePrecision(req.Precision); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	inj := p.cfg.Fault.Run(0)
 
 	// Leakage-budget gate: charge the pessimistic estimate durably before
@@ -422,7 +442,7 @@ func (s *Service) chargeLedger(p *program, req Request, inj fault.Injection) (*l
 	if principal == "" {
 		principal = "anonymous"
 	}
-	ch, err := s.opts.Ledger.Charge(principal, p.name, ledgerEstimate(req.Inputs))
+	ch, err := s.opts.Ledger.Charge(principal, p.name, p.ledgerEstimate(req.Inputs))
 	if err == nil {
 		return ch, nil
 	}
@@ -458,12 +478,16 @@ func (s *Service) settleLedger(ch *ledger.Charge, resp *Response) {
 	}
 }
 
-// ledgerEstimate is the pre-run charge: 8 bits per secret byte. Sound
-// because the flow network's source capacity is exactly the secret bytes
-// read (≤ 8·len), and the degraded trivial-cut bound min(source, sink) is
-// no larger.
-func ledgerEstimate(in engine.Inputs) int64 {
-	return 8 * int64(len(in.Secret))
+// ledgerEstimate is the pre-run charge: the program's static capacity
+// bound, already capped at 8 bits per secret byte (the pre-ladder
+// estimate), so adaptive queriers of read-little programs stop being
+// over-charged. Sound for every rung: the flow network's source capacity
+// is the secret bytes actually read (≤ min(static, 8·len)), the degraded
+// trivial-cut bound min(source, sink) is no larger, and the cheap rungs
+// report exactly one of these two numbers. The static analysis is served
+// from the process-global cache, so the charge path stays a lookup.
+func (p *program) ledgerEstimate(in engine.Inputs) int64 {
+	return p.analyzer.StaticBoundBits(len(in.Secret))
 }
 
 // serveAdmitted is everything past the ledger gate: cache fast path,
@@ -471,17 +495,21 @@ func ledgerEstimate(in engine.Inputs) int64 {
 func (s *Service) serveAdmitted(ctx context.Context, p *program, req Request, inj fault.Injection) (*Response, error) {
 	// Warm-program fast path: a full cache hit is answered before the
 	// breaker, the queue, and the worker pool — it costs one lookup and
-	// touches no session. Budget overrides change the result key's config
-	// half, so they always take the slow path; a draining service refuses
-	// even warm requests (readyz has already failed the balancer).
-	if req.Budget == nil && !s.draining.Load() {
+	// touches no session. Budget and precision overrides change the result
+	// key's config half, so they always take the slow path (the cheap
+	// precision rungs are themselves no-execution answers); a draining
+	// service refuses even warm requests (readyz has already failed the
+	// balancer).
+	if req.Budget == nil && req.Precision == "" && !s.draining.Load() {
 		if res, ok := p.analyzer.Cached(req.Inputs); ok {
 			s.cacheFast.Add(1)
+			s.countRung(res.Rung)
 			s.log.Info("analyze",
 				"program", p.name,
 				"attempt", 0,
 				"outcome", "cache-hit",
 				"bits", res.Bits,
+				"rung", res.Rung,
 				"cache", res.Cache.Disposition,
 				"latency", res.Stages.Lookup,
 			)
@@ -576,7 +604,10 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 		s.observeLatency(lat)
 
 		if err == nil {
-			if res.Degraded && s.opts.RetryDegraded && attempt < max && p.cfg.Budget.SolverWork > 0 {
+			// Only executed solver-budget degradations (which carry a graph)
+			// can improve with more solver work; cheap-rung answers are
+			// degraded by design and retrying them would change nothing.
+			if res.Degraded && res.Graph != nil && s.opts.RetryDegraded && attempt < max && p.cfg.Budget.SolverWork > 0 {
 				// A degraded result is sound but loose; remember it and
 				// retry with the solver budget grown. If no retry solves
 				// exactly, the degraded bound is still the answer.
@@ -593,11 +624,13 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 				s.log.Info("breaker closed", "program", p.name, "from", prev)
 			})
 			s.completed.Add(1)
+			s.countRung(res.Rung)
 			s.log.Info("analyze",
 				"program", p.name,
 				"attempt", attempt,
 				"outcome", "ok",
 				"bits", res.Bits,
+				"rung", res.Rung,
 				"degraded", res.Degraded,
 				"trapped", res.Trap != nil,
 				"cache", res.Cache.Disposition,
@@ -633,6 +666,7 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 				// A sound degraded bound beats an error: report it, noting
 				// the attempts the exact retry burned.
 				s.completed.Add(1)
+				s.countRung(degraded.Rung)
 				s.logOutcome(p, attempt, "degraded-kept", lat, err, inj)
 				return &Response{Program: p.name, Attempts: degradedAttempt, Result: degraded}, nil
 			}
@@ -651,19 +685,41 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 }
 
 // analyzerFor picks the pooled per-program analyzer, or builds a one-off
-// one when the request overrides the budget or a retry grew it.
+// one when the request overrides the budget or precision, or a retry grew
+// the budget.
 func (s *Service) analyzerFor(p *program, req Request, scale int64) *engine.Analyzer {
-	if req.Budget == nil && scale == 1 {
+	if req.Budget == nil && req.Precision == "" && scale == 1 {
 		return p.analyzer
 	}
 	cfg := p.cfg
 	if req.Budget != nil {
 		cfg.Budget = *req.Budget
 	}
+	if req.Precision != "" {
+		// Validated at the top of Analyze; an unparseable value cannot
+		// reach here.
+		if prec, err := engine.ParsePrecision(req.Precision); err == nil {
+			cfg.Precision = prec
+			cfg.AdaptiveThreshold = req.AdaptiveThreshold
+		}
+	}
 	if scale > 1 {
 		cfg.Budget = growBudget(cfg.Budget, scale)
 	}
 	return engine.New(p.prog, cfg)
+}
+
+// countRung attributes one successful response to the precision-ladder
+// rung that produced its bound.
+func (s *Service) countRung(rung string) {
+	switch rung {
+	case engine.RungTrivial:
+		s.rungTrivial.Add(1)
+	case engine.RungStatic:
+		s.rungStatic.Add(1)
+	default:
+		s.rungFull.Add(1)
+	}
 }
 
 // growBudget scales every finite cap of b by k; unlimited (zero) caps stay
@@ -827,10 +883,15 @@ type Stats struct {
 	// LedgerDenied counts requests denied over leakage budget,
 	// LedgerUnavailable fail-closed denials on ledger I/O faults; Ledger
 	// is the full ledger snapshot (nil when no ledger is configured).
-	LedgerDenied      int64          `json:"ledger_denied"`
-	LedgerUnavailable int64          `json:"ledger_unavailable"`
-	Ledger            *ledger.Stats  `json:"ledger,omitempty"`
-	Programs          []ProgramStats `json:"programs"`
+	LedgerDenied      int64         `json:"ledger_denied"`
+	LedgerUnavailable int64         `json:"ledger_unavailable"`
+	Ledger            *ledger.Stats `json:"ledger,omitempty"`
+	// Rung counters attribute successful responses (cache hits included)
+	// to the precision-ladder rung that produced their bound.
+	RungTrivial int64          `json:"rung_trivial"`
+	RungStatic  int64          `json:"rung_static"`
+	RungFull    int64          `json:"rung_full"`
+	Programs    []ProgramStats `json:"programs"`
 }
 
 // Stats snapshots the service.
@@ -855,6 +916,9 @@ func (s *Service) Stats() Stats {
 		CacheFastPath:     s.cacheFast.Load(),
 		LedgerDenied:      s.ledgerDenied.Load(),
 		LedgerUnavailable: s.ledgerUnavail.Load(),
+		RungTrivial:       s.rungTrivial.Load(),
+		RungStatic:        s.rungStatic.Load(),
+		RungFull:          s.rungFull.Load(),
 	}
 	if s.cache != nil {
 		cst := s.cache.Stats()

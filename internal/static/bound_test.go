@@ -1,0 +1,235 @@
+package static
+
+import (
+	"testing"
+
+	"flowcheck/internal/vm"
+)
+
+// buildProg assembles a tiny program with a function table so the CFG and
+// bound passes have something covered to chew on.
+func buildProg(code []vm.Instr, funcs []vm.FuncInfo, entry int) *vm.Program {
+	return &vm.Program{Code: code, Funcs: funcs, Entry: entry}
+}
+
+func boundOf(t *testing.T, p *vm.Program) *Bound {
+	t.Helper()
+	a := Analyze(p)
+	if a.Bound == nil {
+		t.Fatal("Analyze left Bound nil")
+	}
+	return a.Bound
+}
+
+// A straight-line read of 4 secret bytes bounds the stream at 32 bits.
+func TestBoundStraightLineRead(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R1, Imm: 0}, // buf
+		{Op: vm.OpConst, A: vm.R2, Imm: 4}, // len
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamSecret)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpHalt},
+	}
+	b := boundOf(t, buildProg(code, []vm.FuncInfo{{Name: "main", Entry: 0, End: len(code)}}, 0))
+	if b.StreamReadBits != 32 {
+		t.Fatalf("StreamReadBits = %d, want 32", b.StreamReadBits)
+	}
+	if !b.Resolved() {
+		t.Fatalf("bound not resolved: %+v", b)
+	}
+	// The whole-secret cap applies in both directions.
+	if got := b.Bits(1); got != 8 {
+		t.Errorf("Bits(1) = %d, want 8 (capped at secret width)", got)
+	}
+	if got := b.Bits(64); got != 32 {
+		t.Errorf("Bits(64) = %d, want 32 (capped at stream reads)", got)
+	}
+	if len(b.Channels) != 1 || b.Channels[0].Kind != ChanSecretRead || b.Channels[0].Count != 1 {
+		t.Errorf("channels = %+v, want one secret-read with count 1", b.Channels)
+	}
+}
+
+// A public-stream read contributes nothing.
+func TestBoundPublicReadIgnored(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R1, Imm: 0},
+		{Op: vm.OpConst, A: vm.R2, Imm: 4},
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamPublic)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpHalt},
+	}
+	b := boundOf(t, buildProg(code, []vm.FuncInfo{{Name: "main", Entry: 0, End: len(code)}}, 0))
+	if b.StreamReadBits != 0 || len(b.Channels) != 0 {
+		t.Fatalf("public read charged: %+v", b)
+	}
+	if got := b.Bits(16); got != 0 {
+		t.Errorf("Bits(16) = %d, want 0", got)
+	}
+}
+
+// A read inside a loop saturates: Bits falls back to the secret width.
+func TestBoundLoopedReadSaturates(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R1, Imm: 0},
+		{Op: vm.OpConst, A: vm.R2, Imm: 1},
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamSecret)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpJmp, Imm: 0}, // back edge: the whole body is one SCC
+	}
+	b := boundOf(t, buildProg(code, []vm.FuncInfo{{Name: "main", Entry: 0, End: len(code)}}, 0))
+	if b.StreamReadBits != InfBits {
+		t.Fatalf("StreamReadBits = %d, want InfBits", b.StreamReadBits)
+	}
+	if got := b.Bits(3); got != 24 {
+		t.Errorf("Bits(3) = %d, want the trivial 24", got)
+	}
+	if len(b.Channels) != 1 || b.Channels[0].Count != InfBits {
+		t.Errorf("channels = %+v, want one site with saturated count", b.Channels)
+	}
+}
+
+// SysMarkSecret forces the whole-secret fallback even when stream reads
+// are small: marked memory bypasses the stream cursor.
+func TestBoundMarkSecretFallsBack(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R1, Imm: 0},
+		{Op: vm.OpConst, A: vm.R2, Imm: 2},
+		{Op: vm.OpSys, Imm: int32(vm.SysMarkSecret)},
+		{Op: vm.OpHalt},
+	}
+	b := boundOf(t, buildProg(code, []vm.FuncInfo{{Name: "main", Entry: 0, End: len(code)}}, 0))
+	if !b.MarkSecret {
+		t.Fatal("MarkSecret not detected")
+	}
+	if b.Resolved() {
+		t.Fatal("marking program must not count as resolved")
+	}
+	if got := b.Bits(5); got != 40 {
+		t.Errorf("Bits(5) = %d, want the trivial 40", got)
+	}
+}
+
+// A helper called twice multiplies its sites' counts; called from a loop
+// it saturates.
+func TestBoundCallMultiplicity(t *testing.T) {
+	// main: call helper; call helper; halt.  helper: read 1 secret byte; ret.
+	code := []vm.Instr{
+		{Op: vm.OpCall, Imm: 4},
+		{Op: vm.OpCall, Imm: 4},
+		{Op: vm.OpHalt},
+		{Op: vm.OpNop},
+		// helper at 4
+		{Op: vm.OpConst, A: vm.R1, Imm: 0},
+		{Op: vm.OpConst, A: vm.R2, Imm: 1},
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamSecret)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpRet},
+	}
+	funcs := []vm.FuncInfo{
+		{Name: "main", Entry: 0, End: 4},
+		{Name: "helper", Entry: 4, End: len(code)},
+	}
+	b := boundOf(t, buildProg(code, funcs, 0))
+	if b.StreamReadBits != 16 {
+		t.Fatalf("StreamReadBits = %d, want 16 (two calls x 8 bits)", b.StreamReadBits)
+	}
+	if len(b.Channels) != 1 || b.Channels[0].Count != 2 {
+		t.Errorf("channels = %+v, want one site visited twice", b.Channels)
+	}
+}
+
+// Recursion saturates the callee's count.
+func TestBoundRecursionSaturates(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpCall, Imm: 2},
+		{Op: vm.OpHalt},
+		// rec at 2: read a byte, then call itself.
+		{Op: vm.OpConst, A: vm.R1, Imm: 0},
+		{Op: vm.OpConst, A: vm.R2, Imm: 1},
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamSecret)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpCall, Imm: 2},
+		{Op: vm.OpRet},
+	}
+	funcs := []vm.FuncInfo{
+		{Name: "main", Entry: 0, End: 2},
+		{Name: "rec", Entry: 2, End: len(code)},
+	}
+	b := boundOf(t, buildProg(code, funcs, 0))
+	if b.StreamReadBits != InfBits {
+		t.Fatalf("StreamReadBits = %d, want InfBits under recursion", b.StreamReadBits)
+	}
+}
+
+// An indirect call saturates every function's count.
+func TestBoundIndirectCallSaturates(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R1, Imm: 0},
+		{Op: vm.OpConst, A: vm.R2, Imm: 1},
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamSecret)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpCallInd, A: vm.R3},
+		{Op: vm.OpHalt},
+	}
+	b := boundOf(t, buildProg(code, []vm.FuncInfo{{Name: "main", Entry: 0, End: len(code)}}, 0))
+	if b.StreamReadBits != InfBits {
+		t.Fatalf("StreamReadBits = %d, want InfBits with an indirect call", b.StreamReadBits)
+	}
+}
+
+// A program without a function table (hand-assembled) is fully
+// conservative: any secret read falls back.
+func TestBoundNoCFGsFallsBack(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R0, Imm: int32(vm.StreamSecret)},
+		{Op: vm.OpSys, Imm: int32(vm.SysRead)},
+		{Op: vm.OpHalt},
+	}
+	b := boundOf(t, buildProg(code, nil, 0))
+	if b.Resolved() {
+		t.Fatalf("bound resolved without CFG coverage: %+v", b)
+	}
+	if got := b.Bits(2); got != 16 {
+		t.Errorf("Bits(2) = %d, want the trivial 16", got)
+	}
+}
+
+// Output and branch capacities are recorded on the diagnostic side.
+func TestBoundDiagnostics(t *testing.T) {
+	code := []vm.Instr{
+		{Op: vm.OpConst, A: vm.R0, Imm: 65},
+		{Op: vm.OpSys, Imm: int32(vm.SysPutc)},
+		{Op: vm.OpJz, A: vm.R3, Imm: 4},
+		{Op: vm.OpNop},
+		{Op: vm.OpHalt},
+	}
+	b := boundOf(t, buildProg(code, []vm.FuncInfo{{Name: "main", Entry: 0, End: len(code)}}, 0))
+	if b.OutputBits != 8 {
+		t.Errorf("OutputBits = %d, want 8", b.OutputBits)
+	}
+	if b.BranchBits != 1 {
+		t.Errorf("BranchBits = %d, want 1", b.BranchBits)
+	}
+	if len(b.Channels) != 1 || b.Channels[0].Kind != ChanOutput {
+		t.Errorf("channels = %+v, want one output site", b.Channels)
+	}
+}
+
+// Saturating arithmetic sanity.
+func TestSaturatingOps(t *testing.T) {
+	if satAdd(InfBits, 1) != InfBits || satAdd(1, InfBits) != InfBits {
+		t.Error("satAdd does not saturate")
+	}
+	if satAdd(InfBits-1, 2) != InfBits {
+		t.Error("satAdd overflow not clamped")
+	}
+	if satMul(InfBits, 0) != 0 || satMul(0, InfBits) != 0 {
+		t.Error("satMul 0*inf must stay 0")
+	}
+	if satMul(InfBits/2, 3) != InfBits {
+		t.Error("satMul overflow not clamped")
+	}
+	if satMul(7, 6) != 42 || satAdd(7, 6) != 13 {
+		t.Error("small values wrong")
+	}
+}

@@ -46,6 +46,8 @@ type Analysis struct {
 	// Spans are the statically matched enclosure annotations, in
 	// program order of their Enter pc.
 	Spans []Span
+	// Bound is the program's static leakage capacity (see bound.go).
+	Bound *Bound
 	Stats Stats
 
 	covered bitset // union of all region pc sets
@@ -92,6 +94,7 @@ func Analyze(p *vm.Program) *Analysis {
 		}
 	}
 	a.Spans = findSpans(p, a.CFGs)
+	a.Bound = computeBound(p, a.CFGs)
 	a.Stats.Regions = len(a.Regions)
 	a.Stats.Enclosures = len(a.Spans)
 	return a

@@ -298,6 +298,27 @@ func FuzzSoundness(f *testing.F) {
 		if degraded.Degraded && degraded.Bits < exact.Bits {
 			t.Fatalf("UNSOUND: degraded bound %d < exact max flow %d\n%s", degraded.Bits, exact.Bits, src)
 		}
+
+		// Precision-ladder invariant: the static rung's no-execution bound
+		// sits between the full solve and the trivial 8·len bound, and —
+		// being input-independent — must cover the sampled behavior count
+		// on its own.
+		staticRes, err := core.Analyze(prog, inputs[0], core.Config{Precision: core.PrecisionStatic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trivial := core.TrivialBoundBits(1)
+		if exact.Bits > staticRes.Bits || staticRes.Bits > trivial {
+			t.Fatalf("LADDER violated: measured %d <= static %d <= trivial %d fails\n%s",
+				exact.Bits, staticRes.Bits, trivial, src)
+		}
+		if staticRes.Rung != core.RungStatic || staticRes.Graph != nil {
+			t.Fatalf("static rung executed: rung=%q graph=%v\n%s", staticRes.Rung, staticRes.Graph != nil, src)
+		}
+		if need := math.Log2(float64(len(distinct))); float64(staticRes.Bits) < need-1e-9 {
+			t.Fatalf("UNSOUND: static bound %d bits < log2(%d sampled behaviors) = %.2f\n%s",
+				staticRes.Bits, len(distinct), need, src)
+		}
 	})
 }
 
