@@ -84,6 +84,17 @@ type timingRecord struct {
 	MeasuredBits int64   `json:"measured_bits,omitempty"`
 	StaticUS     float64 `json:"static_us,omitempty"`
 	FullUS       float64 `json:"full_us,omitempty"`
+	// The multiclass experiment's old-vs-new pipeline comparison: mean
+	// class-set latency per mode and executions per class actually
+	// performed (1.0 for reexec, 1/N for the shared path).
+	ReexecMS            float64 `json:"reexec_ms,omitempty"`
+	SharedMS            float64 `json:"shared_ms,omitempty"`
+	ReexecExecsPerClass float64 `json:"reexec_execs_per_class,omitempty"`
+	SharedExecsPerClass float64 `json:"shared_execs_per_class,omitempty"`
+	// Pointer so false survives encoding: "did both class pipelines agree
+	// bit-for-bit" is meaningful either way (false = the shared bound was
+	// strictly looser somewhere, never tighter).
+	ClassModesAgree *bool `json:"class_modes_agree,omitempty"`
 }
 
 // staticTotals carries the static experiment's counts from its run
@@ -112,6 +123,14 @@ var ledgerTotals struct {
 var ladderTotals struct {
 	trivialBits, staticBits, measuredBits int64
 	fullUS, staticUS                      float64
+}
+
+// multiclassTotals carries the multiclass experiment's old-vs-new
+// pipeline comparison.
+var multiclassTotals struct {
+	reexecMS, sharedMS   float64
+	reexecEPC, sharedEPC float64
+	agree                bool
 }
 
 func main() {
@@ -176,6 +195,13 @@ func main() {
 				rec.TrivialBits, rec.StaticBits = ladderTotals.trivialBits, ladderTotals.staticBits
 				rec.MeasuredBits = ladderTotals.measuredBits
 				rec.FullUS, rec.StaticUS = ladderTotals.fullUS, ladderTotals.staticUS
+			}
+			if e.name == "multiclass" {
+				rec.ReexecMS, rec.SharedMS = multiclassTotals.reexecMS, multiclassTotals.sharedMS
+				rec.ReexecExecsPerClass = multiclassTotals.reexecEPC
+				rec.SharedExecsPerClass = multiclassTotals.sharedEPC
+				agree := multiclassTotals.agree
+				rec.ClassModesAgree = &agree
 			}
 			timings = append(timings, rec)
 			fmt.Println()
@@ -314,6 +340,15 @@ func runMultiClass(_ []int) {
 	}
 	fmt.Printf("joint analysis:       %2d bits\n", r.Joint)
 	fmt.Printf("per-class sum %d >= joint %d: classes share the grid's capacity (§10.1 crowding out)\n", r.Sum, r.Joint)
+	fmt.Printf("pipeline (mean of %d iterations):\n", r.Iters)
+	fmt.Println("  mode    latency     executions/class")
+	fmt.Printf("  reexec  %8.3fms  %.2f\n", r.ReexecMS, r.ReexecExecsPerClass)
+	fmt.Printf("  shared  %8.3fms  %.2f  (%.2fx vs reexec)\n",
+		r.SharedMS, r.SharedExecsPerClass, r.ReexecMS/r.SharedMS)
+	fmt.Printf("modes agree on every class bound: %v\n", r.Agree)
+	multiclassTotals.reexecMS, multiclassTotals.sharedMS = r.ReexecMS, r.SharedMS
+	multiclassTotals.reexecEPC, multiclassTotals.sharedEPC = r.ReexecExecsPerClass, r.SharedExecsPerClass
+	multiclassTotals.agree = r.Agree
 }
 
 func runInterp(_ []int) {

@@ -214,7 +214,13 @@ func cmdRun(args []string) error {
 	solverBudget := fs.Int64("solver-budget", 0, "max-flow work budget in arc examinations; exhaustion degrades to the trivial-cut bound (0 = unlimited)")
 	precision := fs.String("precision", "", "precision ladder rung: trivial|static|full|adaptive (trivial/static answer a sound upper bound with no execution)")
 	threshold := fs.Int64("threshold", 0, "adaptive precision: run the full solve only while the cheap bound exceeds this many bits")
+	classesFlag := fs.String("classes", "", `per-class analysis (§10.1): comma-separated "name:off:len" secret classes; one execution, one solve per class, plus the joint bound`)
+	classMode := fs.String("class-mode", "", "class analysis mode: shared (one execution + per-class capacity views, default) or reexec (legacy one execution per class)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	classes, err := parseClasses(*classesFlag)
+	if err != nil {
 		return err
 	}
 	prec, err := core.ParsePrecision(*precision)
@@ -225,7 +231,13 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	switch *classMode {
+	case "", core.ClassModeShared, core.ClassModeReexec:
+	default:
+		return fmt.Errorf("unknown -class-mode %q (want shared or reexec)", *classMode)
+	}
 	cfg := core.Config{
+		ClassMode:         *classMode,
 		Taint:             taint.Options{Exact: *exact, ContextSensitive: *ctx, WarnImplicit: *warn},
 		Lint:              *lint,
 		Workers:           *workers,
@@ -269,6 +281,19 @@ func cmdRun(args []string) error {
 	batch, err := batchInputs(in, *runs, *secretDir)
 	if err != nil {
 		return err
+	}
+	if len(classes) > 0 {
+		if batch != nil {
+			return fmt.Errorf("-classes cannot combine with batch mode (-runs/-secret-dir)")
+		}
+		if *precision != "" {
+			return fmt.Errorf("-classes cannot combine with -precision: the cheap rungs never execute, so there is no graph to solve per class")
+		}
+		ca, err := core.AnalyzeClassSetContext(runCtx, prog, in, classes, cfg)
+		if err != nil {
+			return err
+		}
+		return printClassAnalysis(ca, *stages)
 	}
 	var res *core.Result
 	if batch != nil {
@@ -397,6 +422,72 @@ func cmdRun(args []string) error {
 		// Distinct from a guest fault: the bound above covers only the
 		// truncated execution, so surface the exhaustion as exit code 3.
 		return fmt.Errorf("guest exhausted its step limit after %d steps: %w", res.Steps, res.Trap)
+	}
+	return nil
+}
+
+// parseClasses parses the -classes flag: comma-separated "name:off:len"
+// secret-class specs.
+func parseClasses(s string) ([]core.SecretClass, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []core.SecretClass
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 || fields[0] == "" {
+			return nil, fmt.Errorf("bad class spec %q (want name:off:len)", part)
+		}
+		off, err := strconv.Atoi(fields[1])
+		if err != nil || off < 0 {
+			return nil, fmt.Errorf("bad class spec %q: offset must be a non-negative integer", part)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad class spec %q: length must be a non-negative integer", part)
+		}
+		out = append(out, core.SecretClass{Name: fields[0], Off: off, Len: n})
+	}
+	return out, nil
+}
+
+// printClassAnalysis renders a class-set analysis: the per-class table,
+// then the joint bound against the per-class sum (the gap is capacity the
+// classes crowd each other out of, §10.1).
+func printClassAnalysis(ca *core.ClassAnalysis, stages bool) error {
+	fmt.Printf("class analysis (%s mode): %d classes, %d execution(s)\n",
+		ca.Mode, len(ca.Classes), ca.Executions)
+	var sum int64
+	var firstErr error
+	failed := 0
+	for _, cr := range ca.Classes {
+		c := cr.Class
+		if cr.Err != nil {
+			fmt.Printf("  %-14s [%3d:%3d)  FAILED: %v\n", c.Name, c.Off, c.Off+c.Len, cr.Err)
+			failed++
+			if firstErr == nil {
+				firstErr = cr.Err
+			}
+			continue
+		}
+		note := ""
+		if cr.Degraded {
+			note = fmt.Sprintf("  DEGRADED: %s", cr.DegradedReason)
+		}
+		fmt.Printf("  %-14s [%3d:%3d)  %s%s\n", c.Name, c.Off, c.Off+c.Len, cr.Cut, note)
+		sum += cr.Bits
+	}
+	if j := ca.Joint; j != nil {
+		fmt.Printf("joint bound: %d bits (per-class sum: %d bits)\n", j.Bits, sum)
+		if failed == 0 && sum > j.Bits {
+			fmt.Printf("note: the classes crowd each other out of %d bits of shared capacity; the joint bound is what a leakage budget should charge\n", sum-j.Bits)
+		}
+		if stages {
+			fmt.Printf("stages (shared execution + joint solve): %v\n", j.Stages)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d classes failed: %w", failed, len(ca.Classes), firstErr)
 	}
 	return nil
 }

@@ -262,6 +262,13 @@ func TestE15MultiClass(t *testing.T) {
 	if r.Sum < r.Joint {
 		t.Errorf("per-class sum %d < joint %d?!", r.Sum, r.Joint)
 	}
+	if r.ReexecExecsPerClass != 1 {
+		t.Errorf("reexec executions/class = %v, want 1", r.ReexecExecsPerClass)
+	}
+	if want := 1.0 / float64(len(r.Classes)); r.SharedExecsPerClass != want {
+		t.Errorf("shared executions/class = %v, want %v (one execution for the whole set)",
+			r.SharedExecsPerClass, want)
+	}
 }
 
 // E17 — §10.3 (future work, implemented): analyzing interpreted code. The

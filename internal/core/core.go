@@ -46,6 +46,9 @@ type (
 	SecretClass = engine.SecretClass
 	// ClassResult is the per-class disclosure measurement.
 	ClassResult = engine.ClassResult
+	// ClassAnalysis is a class-set analysis: per-class bounds plus the
+	// joint bound and execution count of the shared one-execution path.
+	ClassAnalysis = engine.ClassAnalysis
 	// Analyzer is the staged analysis engine with pooled sessions.
 	Analyzer = engine.Analyzer
 	// Budget bounds the resources one analysis run may consume.
@@ -140,6 +143,16 @@ const (
 	CacheKindSkeleton = engine.KindSkeleton
 	// CacheKindResult counts full analysis results (Config.Cache).
 	CacheKindResult = engine.KindResult
+)
+
+// Class-analysis modes for Config.ClassMode.
+const (
+	// ClassModeShared (the default) executes once and solves one capacity
+	// view per class on the shared graph.
+	ClassModeShared = engine.ClassModeShared
+	// ClassModeReexec re-executes the guest once per class (the legacy
+	// oracle used by soundness tests).
+	ClassModeReexec = engine.ClassModeReexec
 )
 
 // NewCache creates a content-addressed stage cache to share across
@@ -240,6 +253,19 @@ func AnalyzeClasses(prog *vm.Program, in Inputs, classes []SecretClass, cfg Conf
 // carry their typed error in ClassResult.Err.
 func AnalyzeClassesContext(ctx context.Context, prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
 	return engine.AnalyzeClassesContext(ctx, prog, in, classes, cfg)
+}
+
+// AnalyzeClassSet is AnalyzeClasses with the full answer: per-class
+// bounds, the joint (all-classes) bound, and how many guest executions
+// the call performed — 1 on the default shared-graph path, whatever the
+// class count.
+func AnalyzeClassSet(prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) (*ClassAnalysis, error) {
+	return engine.AnalyzeClassSet(prog, in, classes, cfg)
+}
+
+// AnalyzeClassSetContext is AnalyzeClassSet under a context.
+func AnalyzeClassSetContext(ctx context.Context, prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) (*ClassAnalysis, error) {
+	return engine.AnalyzeClassSetContext(ctx, prog, in, classes, cfg)
 }
 
 // RunPlain executes prog uninstrumented (the baseline for overhead

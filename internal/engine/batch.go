@@ -258,13 +258,15 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 }
 
 // AnalyzeClasses measures, for each kind of secret, how much of it this
-// execution reveals, by running the analysis once per class with only that
-// class's input bytes marked secret (§10.1: "our analysis can be used
-// independently for each kind of secret"). Classes are analyzed in
-// parallel on worker sessions (machine and solver reused; trackers are
-// per-class, since each class marks different bytes secret). The per-class
-// bounds may sum to more than a joint analysis reports, since the classes
-// share output capacity (the crowding-out effect the paper discusses).
+// execution reveals (§10.1: "our analysis can be used independently for
+// each kind of secret"). By default (ClassModeShared) the guest executes
+// once with every secret byte marked and source attribution recorded, and
+// each class is a cheap capacity-view solve over the shared graph; with
+// Config.ClassMode = ClassModeReexec the legacy oracle re-executes once
+// per class with that class's ranging. The per-class bounds may sum to
+// more than a joint analysis reports, since the classes share output
+// capacity (the crowding-out effect the paper discusses). See
+// AnalyzeClassSet for the richer result (joint bound, execution count).
 func (a *Analyzer) AnalyzeClasses(in Inputs, classes []SecretClass) ([]ClassResult, error) {
 	return a.AnalyzeClassesContext(context.Background(), in, classes)
 }
@@ -273,25 +275,11 @@ func (a *Analyzer) AnalyzeClasses(in Inputs, classes []SecretClass) ([]ClassResu
 // are isolated like batch runs: a failed class carries its typed error in
 // ClassResult.Err while the other classes still report their bounds.
 func (a *Analyzer) AnalyzeClassesContext(ctx context.Context, in Inputs, classes []SecretClass) ([]ClassResult, error) {
-	out := make([]ClassResult, len(classes))
-	a.fanOut(len(classes), func(s *session, i int) error {
-		c := classes[i]
-		opts := a.taintOptions()
-		opts.SecretRanges = []taint.StreamRange{{Off: c.Off, Len: c.Len}}
-		// Per-class secret rangings change the graph topology, so class
-		// runs never touch the skeleton cache.
-		res, err := a.runStages(ctx, s, taint.New(opts), in, a.cfg.Fault.Run(i), false)
-		if err != nil {
-			out[i] = ClassResult{Class: c, Err: err}
-			return err
-		}
-		out[i] = ClassResult{Class: c, Bits: res.Bits, Cut: res.CutString()}
-		return nil
-	})
-	if err := ctxErr(ctx); err != nil {
+	ca, err := a.AnalyzeClassSetContext(ctx, in, classes)
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return ca.Classes, nil
 }
 
 // mergeFindings appends the findings of one run, deduplicating by kind

@@ -48,6 +48,12 @@ const (
 	KindStatic   = "static"
 	KindSkeleton = "skeleton"
 	KindResult   = "result"
+	// KindClassGraph holds the shared attributed graph + CSR of a class
+	// analysis, keyed by (program, config, inputs) — class-set changes
+	// reuse it, re-solving without re-executing. KindClassSet holds the
+	// full per-class answer, keyed additionally by the classes.
+	KindClassGraph = "classgraph"
+	KindClassSet   = "classset"
 )
 
 // Cache dispositions reported in Result.Cache and service responses.
@@ -154,7 +160,8 @@ func (a *Analyzer) configKey() cachekey.Key {
 		Uint(a.cfg.MaxSteps).
 		Bool(a.cfg.Lint).
 		Int(int64(a.cfg.Precision)).
-		Int(a.cfg.AdaptiveThreshold)
+		Int(a.cfg.AdaptiveThreshold).
+		Str(a.cfg.ClassMode)
 	b := a.cfg.Budget
 	h.Int(int64(b.MaxGraphNodes)).
 		Int(int64(b.MaxGraphEdges)).

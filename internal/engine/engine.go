@@ -98,6 +98,14 @@ type Config struct {
 	// AdaptiveThreshold is PrecisionAdaptive's escalation threshold in
 	// bits: a cheap rung's bound at or below it is considered good enough.
 	AdaptiveThreshold int64
+	// ClassMode selects the class-analysis pipeline (see classes.go):
+	// ClassModeShared (also "" — the default) executes the guest once with
+	// all secret bytes marked and source attribution recorded, then solves
+	// one per-class capacity view per class against the shared graph;
+	// ClassModeReexec is the legacy oracle that re-executes the guest once
+	// per class with that class's secret ranging. Non-class entry points
+	// ignore it.
+	ClassMode string
 	// Cache, when non-nil, content-addresses the pipeline: single-run
 	// results are keyed by (program, config, inputs) and full hits are
 	// returned without touching a session, while the collapsed-graph
@@ -675,6 +683,18 @@ func AnalyzeClasses(prog *vm.Program, in Inputs, classes []SecretClass, cfg Conf
 // context; see (*Analyzer).AnalyzeClassesContext.
 func AnalyzeClassesContext(ctx context.Context, prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) ([]ClassResult, error) {
 	return New(prog, cfg).AnalyzeClassesContext(ctx, in, classes)
+}
+
+// AnalyzeClassSet measures per-class disclosure plus the joint bound; see
+// (*Analyzer).AnalyzeClassSetContext.
+func AnalyzeClassSet(prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) (*ClassAnalysis, error) {
+	return New(prog, cfg).AnalyzeClassSet(in, classes)
+}
+
+// AnalyzeClassSetContext is AnalyzeClassSet under a context; see
+// (*Analyzer).AnalyzeClassSetContext.
+func AnalyzeClassSetContext(ctx context.Context, prog *vm.Program, in Inputs, classes []SecretClass, cfg Config) (*ClassAnalysis, error) {
+	return New(prog, cfg).AnalyzeClassSetContext(ctx, in, classes)
 }
 
 // RunPlain executes prog uninstrumented (the baseline for overhead

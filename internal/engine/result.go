@@ -194,7 +194,23 @@ type ClassResult struct {
 	Class SecretClass
 	Bits  int64
 	Cut   string
-	Err   error
+
+	// Rung, Degraded, and DegradedReason carry the same provenance as
+	// Result: RungFull for a solved per-class max flow, RungTrivial (with
+	// Degraded set) when the class solve exhausted its work budget and
+	// fell back to the class's trivial-cut bound.
+	Rung           string
+	Degraded       bool
+	DegradedReason string
+
+	// Stages is this class's own pipeline cost. On the shared path that
+	// is just the view solve — Execute and Build are zero because the
+	// class performed no execution (the shared run's cost is on
+	// ClassAnalysis.Joint); in reexec mode it is the class's full
+	// pipeline.
+	Stages StageStats
+
+	Err error
 }
 
 // CutEdge is a human-readable description of one minimum-cut edge: a
@@ -210,17 +226,24 @@ type CutEdge struct {
 // DescribeCut renders the minimum cut against the program's site table,
 // most-capacious edges first.
 func (r *Result) DescribeCut() []CutEdge {
-	if r.Cut == nil {
+	return describeCut(r.prog, r.Graph, r.Cut, nil)
+}
+
+// describeCut is DescribeCut over explicit parts, with edge capacities
+// taken through an optional capacity view (the per-class cut renderer:
+// view-zeroed source edges must not show their shared-graph capacities).
+func describeCut(prog *vm.Program, g *flowgraph.Graph, cut *maxflow.Cut, view *flowgraph.CapacityView) []CutEdge {
+	if cut == nil {
 		return nil
 	}
-	out := make([]CutEdge, 0, len(r.Cut.EdgeIndex))
-	for _, idx := range r.Cut.EdgeIndex {
-		e := r.Graph.Edges[idx]
+	out := make([]CutEdge, 0, len(cut.EdgeIndex))
+	for _, idx := range cut.EdgeIndex {
+		e := g.Edges[idx]
 		where := fmt.Sprintf("site %d", e.Label.Site)
-		if r.prog != nil && int(e.Label.Site) < len(r.prog.Code) {
-			where = r.prog.SiteString(r.prog.Code[e.Label.Site].Site)
+		if prog != nil && int(e.Label.Site) < len(prog.Code) {
+			where = prog.SiteString(prog.Code[e.Label.Site].Site)
 		}
-		out = append(out, CutEdge{Where: where, Kind: e.Label.Kind, Bits: e.Cap, Label: e.Label})
+		out = append(out, CutEdge{Where: where, Kind: e.Label.Kind, Bits: view.Of(idx, e.Cap), Label: e.Label})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Bits != out[j].Bits {
@@ -233,12 +256,15 @@ func (r *Result) DescribeCut() []CutEdge {
 
 // CutString formats the cut for reports: "9 bits = 8@file:3(f)[internal] + 1@file:14(f)[implicit]".
 func (r *Result) CutString() string {
-	edges := r.DescribeCut()
+	return formatCut(r.Bits, r.DescribeCut())
+}
+
+func formatCut(bits int64, edges []CutEdge) string {
 	parts := make([]string, len(edges))
 	for i, e := range edges {
 		parts[i] = fmt.Sprintf("%d@%s[%s]", e.Bits, e.Where, e.Kind)
 	}
-	return fmt.Sprintf("%d bits = %s", r.Bits, strings.Join(parts, " + "))
+	return fmt.Sprintf("%d bits = %s", bits, strings.Join(parts, " + "))
 }
 
 // CutSites returns the distinct instruction addresses (graph label sites)

@@ -599,17 +599,33 @@ func Collapse(n int) CollapseResult {
 // --------------------------------------------------- Multi-class (§10.1) ---
 
 // MultiClassResult measures each secret class independently (the paper's
-// §10.1 future-work direction, implemented via taint.Options.SecretRanges).
+// §10.1 future-work direction) and compares the two class pipelines: the
+// legacy reexec mode (one instrumented execution per class) against the
+// shared multi-commodity mode (one execution, one capacity-view solve per
+// class over the shared graph).
 type MultiClassResult struct {
 	Classes []core.ClassResult
 	Joint   int64
 	Sum     int64
+
+	// Per-mode cost over Iters repetitions of the whole class set.
+	Iters    int
+	ReexecMS float64 // mean latency, one execution per class
+	SharedMS float64 // mean latency, one execution + per-class solves
+	// Executions per class actually performed by each mode (1.0 for
+	// reexec; 1/N for shared).
+	ReexecExecsPerClass float64
+	SharedExecsPerClass float64
+	// Agree reports that the two modes produced identical per-class
+	// bounds on this workload.
+	Agree bool
 }
 
-// MultiClass analyzes a two-appointment calendar once per appointment and
-// once jointly: each appointment's disclosure is bounded separately, and
-// the per-class bounds can sum to more than the joint bound because the 18
+// MultiClass analyzes a two-appointment calendar per appointment and
+// jointly: each appointment's disclosure is bounded separately, and the
+// per-class bounds can sum to more than the joint bound because the 18
 // grid squares are shared capacity (the crowding-out effect of §10.1).
+// Both class pipelines run, timed, on the same class set.
 func MultiClass() MultiClassResult {
 	in := core.Inputs{
 		Secret: workload.CalendarSecret([]workload.Appointment{
@@ -621,16 +637,48 @@ func MultiClass() MultiClassResult {
 		{Name: "appointment-1", Off: 1, Len: 2},
 		{Name: "appointment-2", Off: 3, Len: 2},
 	}
-	per, err := core.AnalyzeClasses(guest.Program("calendar"), in, classes, core.Config{})
-	if err != nil {
-		panic(err)
+	prog := guest.Program("calendar")
+	const iters = 20
+
+	run := func(mode string) (*core.ClassAnalysis, float64, float64) {
+		cfg := core.Config{ClassMode: mode}
+		var last *core.ClassAnalysis
+		var execs int
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			ca, err := core.AnalyzeClassSet(prog, in, classes, cfg)
+			if err != nil {
+				panic(err)
+			}
+			last, execs = ca, ca.Executions
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000 / iters
+		return last, ms, float64(execs) / float64(len(classes))
 	}
+
+	shared, sharedMS, sharedEPC := run(core.ClassModeShared)
+	reexec, reexecMS, reexecEPC := run(core.ClassModeReexec)
+
 	joint := mustAnalyze("calendar", in, core.Config{})
 	var sum int64
-	for _, c := range per {
+	agree := true
+	for i, c := range shared.Classes {
 		sum += c.Bits
+		if c.Bits != reexec.Classes[i].Bits {
+			agree = false
+		}
 	}
-	return MultiClassResult{Classes: per, Joint: joint.Bits, Sum: sum}
+	return MultiClassResult{
+		Classes:             shared.Classes,
+		Joint:               joint.Bits,
+		Sum:                 sum,
+		Iters:               iters,
+		ReexecMS:            reexecMS,
+		SharedMS:            sharedMS,
+		ReexecExecsPerClass: reexecEPC,
+		SharedExecsPerClass: sharedEPC,
+		Agree:               agree,
+	}
 }
 
 // ------------------------------------------------- Interpreter (§10.3) ---

@@ -144,7 +144,23 @@ func (s *Solver) SolveBudgeted(g *flowgraph.Graph, work int64) (*Result, bool) {
 // c must not be modified until SolveCSR returns. Edge i of the view is
 // Result.EdgeFlow[i] and Cut.EdgeIndex entries index the view's edges.
 func (s *Solver) SolveCSR(c *flowgraph.CSR, work int64) (*Result, bool) {
+	return s.SolveCSRView(c, nil, work)
+}
+
+// SolveCSRView is SolveCSR under a capacity view: the view's per-edge
+// capacities replace the CSR's in the residual network before the solve,
+// so N per-class solves share one attached CSR (topology untouched, only
+// residuals reset per solve). EdgeFlow and the min cut are reported
+// against the view-effective capacities; edges the view zeroes never
+// appear in the cut. A nil view solves the CSR as-is.
+func (s *Solver) SolveCSRView(c *flowgraph.CSR, view *flowgraph.CapacityView, work int64) (*Result, bool) {
 	s.net.attach(c)
+	if view != nil {
+		for k, ei := range view.Edge {
+			s.net.resid[2*ei] = view.Cap[k]
+			s.net.resid[2*ei+1] = 0
+		}
+	}
 	s.limit, s.spent, s.exhausted = work, 0, false
 	var flow int64
 	if s.net.n > int(flowgraph.Sink) {
@@ -159,11 +175,33 @@ func (s *Solver) SolveCSR(c *flowgraph.CSR, work int64) (*Result, bool) {
 	}
 	ne := c.NumEdges()
 	res := &Result{Flow: flow, EdgeFlow: make([]int64, ne)}
+	cur := viewCursor{view: view}
 	for i := 0; i < ne; i++ {
-		res.EdgeFlow[i] = c.Cap[2*i] - s.net.resid[2*i]
+		res.EdgeFlow[i] = cur.cap(i, c.Cap[2*i]) - s.net.resid[2*i]
 	}
-	res.cut = s.minCut(c)
+	res.cut = s.minCut(c, view)
 	return res, s.exhausted
+}
+
+// viewCursor resolves view-effective capacities for ascending edge
+// indices in amortized O(1) per lookup (the view's edge list is sorted).
+type viewCursor struct {
+	view *flowgraph.CapacityView
+	k    int
+}
+
+func (c *viewCursor) cap(i int, base int64) int64 {
+	v := c.view
+	if v == nil {
+		return base
+	}
+	for c.k < len(v.Edge) && v.Edge[c.k] < int32(i) {
+		c.k++
+	}
+	if c.k < len(v.Edge) && v.Edge[c.k] == int32(i) {
+		return v.Cap[c.k]
+	}
+	return base
 }
 
 // over reports whether the work budget is exhausted, latching the flag.
@@ -334,8 +372,9 @@ func (r *Result) MinCut() *Cut { return r.cut }
 // minCut extracts the cut from the terminal residual network. SourceSide
 // escapes into the Cut, so it is allocated fresh; the DFS stack is scratch.
 // Edge i's endpoints are read off the CSR arc pair: To[2i+1] is the edge's
-// origin, To[2i] its destination.
-func (s *Solver) minCut(c *flowgraph.CSR) *Cut {
+// origin, To[2i] its destination. Under a view, crossing edges count at
+// their view-effective capacity and view-zeroed edges are skipped.
+func (s *Solver) minCut(c *flowgraph.CSR, view *flowgraph.CapacityView) *Cut {
 	net := &s.net
 	seen := make([]bool, net.n)
 	stack := append(s.queue[:0], int32(flowgraph.Source))
@@ -352,10 +391,15 @@ func (s *Solver) minCut(c *flowgraph.CSR) *Cut {
 	}
 	s.queue = stack[:0]
 	cut := &Cut{SourceSide: seen}
+	cur := viewCursor{view: view}
 	for i, ne := 0, c.NumEdges(); i < ne; i++ {
 		if seen[c.To[2*i+1]] && !seen[c.To[2*i]] {
+			capi := cur.cap(i, c.Cap[2*i])
+			if view != nil && capi == 0 {
+				continue
+			}
 			cut.EdgeIndex = append(cut.EdgeIndex, i)
-			cut.Capacity += c.Cap[2*i]
+			cut.Capacity += capi
 		}
 	}
 	return cut

@@ -46,6 +46,20 @@ type AnalyzeRequest struct {
 	// AdaptiveThreshold bits.
 	Precision         string `json:"precision,omitempty"`
 	AdaptiveThreshold int64  `json:"adaptive_threshold,omitempty"`
+
+	// Classes asks for per-secret-class bounds (§10.1) alongside the joint
+	// result: one execution, one solve per class on the shared graph. The
+	// principal's ledger is charged the joint bound, not the per-class sum.
+	// Cannot combine with a precision override.
+	Classes []ClassSpec `json:"classes,omitempty"`
+}
+
+// ClassSpec names one secret class: the secret-stream bytes
+// [off, off+len).
+type ClassSpec struct {
+	Name string `json:"name"`
+	Off  int    `json:"off"`
+	Len  int    `json:"len"`
 }
 
 // AnalyzeResponse is the JSON body of a served analysis.
@@ -77,6 +91,29 @@ type AnalyzeResponse struct {
 	// this response settled, when the service has a ledger and the program
 	// a finite budget. Also the X-Flow-Budget-Remaining response header.
 	RemainingBudgetBits *int64 `json:"remaining_budget_bits,omitempty"`
+	// Classes holds the per-class measurements of a class request, in
+	// request order. The top-level bits/cut are then the joint result —
+	// the number the ledger charged, at most (and often less than) the
+	// per-class sum.
+	Classes []ClassResponse `json:"classes,omitempty"`
+}
+
+// ClassResponse is one secret class's measurement.
+type ClassResponse struct {
+	Name string `json:"name"`
+	Off  int    `json:"off"`
+	Len  int    `json:"len"`
+	Bits int64  `json:"bits"`
+	Cut  string `json:"cut,omitempty"`
+	// Rung/Degraded mirror the top-level provenance fields: RungFull for a
+	// solved per-class max flow, RungTrivial with degraded=true when the
+	// class solve fell back to its trivial-cut bound.
+	Rung           string `json:"rung,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Error is the class's isolated failure; bits/cut are then meaningless
+	// while sibling classes remain valid.
+	Error string `json:"error,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a failed request; Kind is the stable
@@ -135,6 +172,9 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Precision:         req.Precision,
 		AdaptiveThreshold: req.AdaptiveThreshold,
 	}
+	for _, c := range req.Classes {
+		sreq.Classes = append(sreq.Classes, engine.SecretClass{Name: c.Name, Off: c.Off, Len: c.Len})
+	}
 	if req.MaxGraphNodes > 0 || req.MaxGraphEdges > 0 || req.MaxOutputBytes > 0 || req.SolverBudget > 0 {
 		sreq.Budget = &engine.Budget{
 			MaxGraphNodes:  req.MaxGraphNodes,
@@ -173,6 +213,22 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Cut != nil {
 		out.Cut = res.CutString()
+	}
+	for _, cr := range resp.Classes {
+		cresp := ClassResponse{
+			Name:           cr.Class.Name,
+			Off:            cr.Class.Off,
+			Len:            cr.Class.Len,
+			Bits:           cr.Bits,
+			Cut:            cr.Cut,
+			Rung:           cr.Rung,
+			Degraded:       cr.Degraded,
+			DegradedReason: cr.DegradedReason,
+		}
+		if cr.Err != nil {
+			cresp.Error = cr.Err.Error()
+		}
+		out.Classes = append(out.Classes, cresp)
 	}
 	if res.Rung != "" {
 		w.Header().Set("X-Flow-Rung", res.Rung)

@@ -211,6 +211,15 @@ type Request struct {
 	// AdaptiveThreshold is the adaptive mode's escalation threshold in
 	// bits: the full solve runs only while the cheap bounds exceed it.
 	AdaptiveThreshold int64
+	// Classes, when non-empty, asks for per-secret-class disclosure bounds
+	// (§10.1) alongside the joint result: the engine executes once and
+	// solves one capacity view per class on the shared graph. The ledger is
+	// charged the joint bound — not the per-class sum, which double-counts
+	// crowded-out capacity. Class requests are always served in shared
+	// mode (reexec is an offline oracle, not a service mode) and cannot
+	// combine with a Precision override: the cheap rungs never execute, so
+	// there is no graph to view.
+	Classes []engine.SecretClass
 }
 
 // Response is a served analysis result.
@@ -218,8 +227,13 @@ type Response struct {
 	Program string
 	// Attempts is how many runs the request consumed (1 = no retries).
 	Attempts int
-	// Result is the engine's result for the successful attempt.
+	// Result is the engine's result for the successful attempt. For class
+	// requests it is the joint (all-classes) result — the number the
+	// ledger settles against.
 	Result *engine.Result
+	// Classes holds the per-class measurements for class requests, in
+	// request order; nil otherwise.
+	Classes []engine.ClassResult
 }
 
 // program is one registered program: its analyzer, its base config, and
@@ -410,6 +424,16 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*Response, error) {
 	if _, err := engine.ParsePrecision(req.Precision); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	if len(req.Classes) > 0 {
+		if req.Precision != "" {
+			return nil, fmt.Errorf("%w: classes cannot combine with a precision override (the cheap rungs never execute, so there is no graph to solve per class)", ErrBadRequest)
+		}
+		for _, c := range req.Classes {
+			if c.Off < 0 || c.Len < 0 {
+				return nil, fmt.Errorf("%w: class %q: negative offset or length", ErrBadRequest, c.Name)
+			}
+		}
+	}
 	inj := p.cfg.Fault.Run(0)
 
 	// Leakage-budget gate: charge the pessimistic estimate durably before
@@ -497,10 +521,11 @@ func (s *Service) serveAdmitted(ctx context.Context, p *program, req Request, in
 	// breaker, the queue, and the worker pool — it costs one lookup and
 	// touches no session. Budget and precision overrides change the result
 	// key's config half, so they always take the slow path (the cheap
-	// precision rungs are themselves no-execution answers); a draining
+	// precision rungs are themselves no-execution answers); class requests
+	// carry their own class-set cache inside the engine; a draining
 	// service refuses even warm requests (readyz has already failed the
 	// balancer).
-	if req.Budget == nil && req.Precision == "" && !s.draining.Load() {
+	if req.Budget == nil && req.Precision == "" && len(req.Classes) == 0 && !s.draining.Load() {
 		if res, ok := p.analyzer.Cached(req.Inputs); ok {
 			s.cacheFast.Add(1)
 			s.countRung(res.Rung)
@@ -599,7 +624,20 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 		an := s.analyzerFor(p, req, scale)
 		s.started.Add(1)
 		t0 := s.opts.Now()
-		res, err := an.AnalyzeContext(ctx, req.Inputs)
+		var res *engine.Result
+		var classes []engine.ClassResult
+		var err error
+		if len(req.Classes) > 0 {
+			// One execution, one solve per class; the joint result carries
+			// the ledger-relevant bound.
+			var ca *engine.ClassAnalysis
+			ca, err = an.AnalyzeClassSetContext(ctx, req.Inputs, req.Classes)
+			if err == nil {
+				res, classes = ca.Joint, ca.Classes
+			}
+		} else {
+			res, err = an.AnalyzeContext(ctx, req.Inputs)
+		}
 		lat := s.opts.Now().Sub(t0)
 		s.observeLatency(lat)
 
@@ -607,7 +645,9 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 			// Only executed solver-budget degradations (which carry a graph)
 			// can improve with more solver work; cheap-rung answers are
 			// degraded by design and retrying them would change nothing.
-			if res.Degraded && res.Graph != nil && s.opts.RetryDegraded && attempt < max && p.cfg.Budget.SolverWork > 0 {
+			// Class requests never degraded-retry: the per-class views
+			// would need their own budgets to be worth re-solving.
+			if len(req.Classes) == 0 && res.Degraded && res.Graph != nil && s.opts.RetryDegraded && attempt < max && p.cfg.Budget.SolverWork > 0 {
 				// A degraded result is sound but loose; remember it and
 				// retry with the solver budget grown. If no retry solves
 				// exactly, the degraded bound is still the answer.
@@ -634,10 +674,11 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 				"degraded", res.Degraded,
 				"trapped", res.Trap != nil,
 				"cache", res.Cache.Disposition,
+				"classes", len(classes),
 				"latency", lat,
 				"inject", inj.String(),
 			)
-			return &Response{Program: p.name, Attempts: attempt, Result: res}, nil
+			return &Response{Program: p.name, Attempts: attempt, Result: res, Classes: classes}, nil
 		}
 
 		// Feed the breaker before deciding on a retry.
@@ -685,13 +726,18 @@ func (s *Service) attempts(ctx context.Context, p *program, req Request, inj fau
 }
 
 // analyzerFor picks the pooled per-program analyzer, or builds a one-off
-// one when the request overrides the budget or precision, or a retry grew
-// the budget.
+// one when the request overrides the budget or precision, a retry grew
+// the budget, or a class request hits a program configured for the
+// reexec oracle (the service always serves classes in shared mode).
 func (s *Service) analyzerFor(p *program, req Request, scale int64) *engine.Analyzer {
-	if req.Budget == nil && req.Precision == "" && scale == 1 {
+	classReexec := len(req.Classes) > 0 && p.cfg.ClassMode == engine.ClassModeReexec
+	if req.Budget == nil && req.Precision == "" && scale == 1 && !classReexec {
 		return p.analyzer
 	}
 	cfg := p.cfg
+	if classReexec {
+		cfg.ClassMode = engine.ClassModeShared
+	}
 	if req.Budget != nil {
 		cfg.Budget = *req.Budget
 	}

@@ -49,6 +49,13 @@ type builder struct {
 	// mode only).
 	canonVal map[flowgraph.Label]valPair
 
+	// attrib records, per final edge label, which secret-stream bytes fed
+	// the Source edges emitted under that label (Options.AttributeSources
+	// mode; nil otherwise). It is keyed on the label as stored in the
+	// arena — after the exact-mode serial stamp — so exported edges look
+	// their attribution up by Edge.Label directly.
+	attrib map[flowgraph.Label][]flowgraph.SourceContrib
+
 	implicitEdges int
 }
 
@@ -56,7 +63,7 @@ type valPair struct {
 	in, out int32
 }
 
-func newBuilder(exact bool) *builder {
+func newBuilder(exact, attribute bool) *builder {
 	b := &builder{
 		ar:    flowgraph.NewArena(),
 		exact: exact,
@@ -67,6 +74,9 @@ func newBuilder(exact bool) *builder {
 		b.uf = unionfind.New(2) // elements 0,1 mirror the terminal nodes
 		b.slots = map[flowgraph.Label]int32{}
 		b.canonVal = map[flowgraph.Label]valPair{}
+	}
+	if attribute {
+		b.attrib = map[flowgraph.Label][]flowgraph.SourceContrib{}
 	}
 	return b
 }
@@ -102,6 +112,35 @@ func (b *builder) addEdge(from, to int32, cap int64, lbl flowgraph.Label) {
 	}
 	b.slots[lbl] = b.ar.AddEdge(from, to, cap, lbl)
 	b.labels++
+}
+
+// addSourceEdge is addEdge for Source-rooted secret-input edges, recording
+// the emitting byte's secret-stream offset when attribution is enabled.
+// streamOff < 0 marks an unattributed byte (memory marked secret with no
+// stream position); every class view then keeps its capacity. Attribution
+// is recorded against the label as finally stored — in exact mode that is
+// the post-serial label, which addEdge would otherwise hide — which is why
+// this cannot be layered on top of addEdge from the tracker.
+func (b *builder) addSourceEdge(to int32, cap int64, lbl flowgraph.Label, streamOff int) {
+	if b.attrib == nil {
+		b.addEdge(b.srcEl, to, cap, lbl)
+		return
+	}
+	if b.exact {
+		b.serial++
+		lbl.Ctx = b.serial
+		b.ar.AddEdge(b.srcEl, to, cap, lbl)
+		b.labels++
+	} else if slot, ok := b.slots[lbl]; ok {
+		b.ar.Accumulate(slot, cap)
+		ef, et := b.ar.EdgeEnds(slot)
+		b.uf.Union(int(ef), int(b.srcEl))
+		b.uf.Union(int(et), int(to))
+	} else {
+		b.slots[lbl] = b.ar.AddEdge(b.srcEl, to, cap, lbl)
+		b.labels++
+	}
+	b.attrib[lbl] = append(b.attrib[lbl], flowgraph.SourceContrib{Off: streamOff, Bits: cap})
 }
 
 // value creates (or, in collapsed mode, re-finds) the split node pair for a

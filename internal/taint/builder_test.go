@@ -12,7 +12,7 @@ func lbl(site uint32, aux uint8, kind flowgraph.EdgeKind) flowgraph.Label {
 }
 
 func TestBuilderSimpleChain(t *testing.T) {
-	b := newBuilder(false)
+	b := newBuilder(false, false)
 	in, out := b.value(lbl(1, 0, flowgraph.KindInternal), 8)
 	b.addEdge(b.srcEl, in, 8, lbl(1, 1, flowgraph.KindInput))
 	b.addEdge(out, b.sinkEl, 8, lbl(2, 0, flowgraph.KindOutput))
@@ -28,7 +28,7 @@ func TestBuilderSimpleChain(t *testing.T) {
 // Collapsed mode: repeating the same site accumulates capacity on one edge
 // set rather than growing the graph (§5.2).
 func TestBuilderCollapseAccumulates(t *testing.T) {
-	b := newBuilder(false)
+	b := newBuilder(false, false)
 	for i := 0; i < 100; i++ {
 		in, out := b.value(lbl(1, 0, flowgraph.KindInternal), 8)
 		b.addEdge(b.srcEl, in, 8, lbl(1, 1, flowgraph.KindInput))
@@ -48,7 +48,7 @@ func TestBuilderCollapseAccumulates(t *testing.T) {
 
 // Exact mode: every repetition gets fresh nodes and edges.
 func TestBuilderExactGrows(t *testing.T) {
-	b := newBuilder(true)
+	b := newBuilder(true, false)
 	for i := 0; i < 10; i++ {
 		in, out := b.value(lbl(1, 0, flowgraph.KindInternal), 8)
 		b.addEdge(b.srcEl, in, 8, lbl(1, 1, flowgraph.KindInput))
@@ -65,7 +65,7 @@ func TestBuilderExactGrows(t *testing.T) {
 }
 
 func TestBuilderCapSaturates(t *testing.T) {
-	b := newBuilder(false)
+	b := newBuilder(false, false)
 	in, out := b.value(lbl(1, 0, flowgraph.KindInternal), flowgraph.Inf)
 	b.addEdge(b.srcEl, in, flowgraph.Inf, lbl(1, 1, flowgraph.KindInput))
 	b.addEdge(b.srcEl, in, flowgraph.Inf, lbl(1, 1, flowgraph.KindInput))
@@ -84,7 +84,7 @@ func TestBuilderCapSaturates(t *testing.T) {
 // Unioning endpoints through repeated labels keeps the graph connected
 // correctly: two different intermediates merged by a shared edge label.
 func TestBuilderUnionMergesClasses(t *testing.T) {
-	b := newBuilder(false)
+	b := newBuilder(false, false)
 	// Two executions of "site 5" with different downstream consumers.
 	in1, out1 := b.value(lbl(5, 0, flowgraph.KindInternal), 8)
 	b.addEdge(b.srcEl, in1, 8, lbl(5, 1, flowgraph.KindInput))
@@ -101,7 +101,7 @@ func TestBuilderUnionMergesClasses(t *testing.T) {
 }
 
 func TestBuilderSelfLoopDropped(t *testing.T) {
-	b := newBuilder(false)
+	b := newBuilder(false, false)
 	in, out := b.value(lbl(1, 0, flowgraph.KindInternal), 8)
 	// Force a union that turns an edge into a self-loop.
 	b.uf.Union(int(in), int(out))
@@ -117,7 +117,7 @@ func TestBuilderSelfLoopDropped(t *testing.T) {
 }
 
 func TestBuilderRebuildIsStable(t *testing.T) {
-	b := newBuilder(false)
+	b := newBuilder(false, false)
 	in, out := b.value(lbl(1, 0, flowgraph.KindInternal), 8)
 	b.addEdge(b.srcEl, in, 8, lbl(1, 1, flowgraph.KindInput))
 	b.addEdge(out, b.sinkEl, 8, lbl(2, 0, flowgraph.KindOutput))

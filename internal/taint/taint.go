@@ -64,6 +64,17 @@ type Options struct {
 	// the online analogue of §5.2's collapsing. Zero disables compaction;
 	// collapsed mode ignores it (collapsing already bounds the graph).
 	Compact int
+
+	// AttributeSources records, for every Source edge emitted, which
+	// secret-stream byte offsets fed it and with how many bits, exposed
+	// via Tracker.SourceMap after the graph is built. This is the
+	// multi-commodity alternative to SecretRanges: mark everything in one
+	// execution, then overlay per-class capacity views on the shared
+	// graph (one execution, N class solves) instead of re-executing with
+	// one ranging per class. Setting it forces Compact to 0 — online
+	// compaction can merge Source edges away and lose their labels, which
+	// would silently drop attribution.
+	AttributeSources bool
 }
 
 // StreamRange is a byte range of the secret input stream (§10.1).
@@ -187,9 +198,12 @@ func New(opts Options) *Tracker {
 	if opts.MaxWarnings == 0 {
 		opts.MaxWarnings = 1000
 	}
+	if opts.AttributeSources {
+		opts.Compact = 0 // compaction can drop Source-edge labels
+	}
 	t := &Tracker{
 		opts:        opts,
-		b:           newBuilder(opts.Exact),
+		b:           newBuilder(opts.Exact, opts.AttributeSources),
 		sh:          newShadowMem(opts.MaxDescriptors, opts.MaxExceptions),
 		regionCanon: map[flowgraph.Label]int32{},
 		chainCanon:  map[flowgraph.Label]int32{},
@@ -235,7 +249,7 @@ func (t *Tracker) SetProbe(p Probe) { t.probe = p }
 // graphs offline, by label.
 func (t *Tracker) ResetAll() {
 	t.Reset()
-	t.b = newBuilder(t.opts.Exact)
+	t.b = newBuilder(t.opts.Exact, t.opts.AttributeSources)
 	t.chainEl = t.b.element()
 	t.compactAt = t.opts.Compact
 	clear(t.regionCanon)
@@ -248,6 +262,30 @@ func (t *Tracker) ResetAll() {
 
 // Graph builds the flow graph for the execution so far.
 func (t *Tracker) Graph() *flowgraph.Graph { return t.b.build() }
+
+// SourceMap extracts the Source-edge attribution of a graph built by this
+// tracker (Options.AttributeSources; nil otherwise): for each Source edge
+// of g, the secret-stream bytes that fed it. Source edges with no
+// recorded attribution are left out of the map and thus keep full
+// capacity in every class view, which is conservative.
+func (t *Tracker) SourceMap(g *flowgraph.Graph) *flowgraph.SourceMap {
+	if t.b.attrib == nil {
+		return nil
+	}
+	m := &flowgraph.SourceMap{}
+	for i, e := range g.Edges {
+		if e.From != flowgraph.Source {
+			continue
+		}
+		contribs, ok := t.b.attrib[e.Label]
+		if !ok {
+			continue
+		}
+		m.Edge = append(m.Edge, int32(i))
+		m.Contribs = append(m.Contribs, contribs)
+	}
+	return m
+}
 
 // GraphSize reports the current size of the accumulating graph — live arena
 // nodes (an upper bound on exported nodes) and live edges — without
@@ -654,7 +692,7 @@ func (t *Tracker) ReadInput(site uint32, addr vm.Word, data []byte, secret bool)
 	t.secPos += n
 	if t.opts.SecretRanges == nil {
 		t.stats.SecretInputBytes += n
-		t.markSecretRange(addr, vm.Word(n))
+		t.markSecretRange(addr, vm.Word(n), streamOff)
 		return
 	}
 	// Class-restricted analysis (§10.1): only bytes inside a configured
@@ -662,7 +700,7 @@ func (t *Tracker) ReadInput(site uint32, addr vm.Word, data []byte, secret bool)
 	for i := 0; i < n; i++ {
 		if t.inSecretRange(streamOff + i) {
 			t.stats.SecretInputBytes++
-			t.markSecretRange(addr+vm.Word(i), 1)
+			t.markSecretRange(addr+vm.Word(i), 1, streamOff+i)
 		} else {
 			t.sh.setByte(addr+vm.Word(i), 0, 0)
 		}
@@ -683,14 +721,21 @@ func (t *Tracker) inSecretRange(off int) bool {
 // bounded by that byte's capacity rather than the whole input's. Byte
 // labels are distinguished by address, which also makes them merge
 // correctly across runs (§3.2): the same input location's capacities sum.
-func (t *Tracker) markSecretRange(addr, n vm.Word) {
+// streamOff is the first byte's offset in the secret input stream, used
+// for class attribution (Options.AttributeSources); pass -1 for memory
+// with no stream position (the __secret builtin).
+func (t *Tracker) markSecretRange(addr, n vm.Word, streamOff int) {
 	for i := vm.Word(0); i < n; i++ {
 		lbl := t.label(flowgraph.KindInternal, 0)
 		lbl.Ctx ^= uint64(addr+i) << 32
 		in, out := t.b.value(lbl, 8)
 		elbl := t.label(flowgraph.KindInput, 1)
 		elbl.Ctx ^= uint64(addr+i) << 32
-		t.b.addEdge(t.b.srcEl, in, 8, elbl)
+		off := -1
+		if streamOff >= 0 {
+			off = streamOff + int(i)
+		}
+		t.b.addSourceEdge(in, 8, elbl, off)
 		t.sh.setByte(addr+i, out, 0xFF)
 	}
 }
@@ -761,7 +806,11 @@ func (t *Tracker) MarkSecret(site uint32, addr, length vm.Word) {
 		return
 	}
 	t.stats.SecretInputBytes += int(length)
-	t.markSecretRange(addr, length)
+	// Builtin-marked memory has no secret-stream position: its Source
+	// capacity is unattributed, so every class view keeps it — matching
+	// the per-class re-execution oracle, which also marks it regardless
+	// of the class ranging.
+	t.markSecretRange(addr, length, -1)
 }
 
 // Declassify implements vm.Tracer (the __declassify builtin).
