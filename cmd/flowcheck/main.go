@@ -52,6 +52,8 @@ func main() {
 		err = cmdInfer(os.Args[2:])
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
+	case "remote":
+		err = cmdRemote(os.Args[2:])
 	case "guests":
 		for _, n := range guest.Names() {
 			fmt.Println(n)
@@ -96,6 +98,7 @@ func usage() {
   flowcheck lockstep [prog.mc] [flags]   output-comparison check with a shadow copy (§6.3)
   flowcheck infer    [prog.mc]           propose/score enclosure annotations (§8.6)
   flowcheck disasm   [prog.mc]           dump the compiled VM code with source sites
+  flowcheck remote   [flags]             analyze via a flowserved/flowcoord service, honoring Retry-After
   flowcheck guests                       list built-in case-study programs`)
 }
 

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowcheck/internal/serve"
+)
+
+// cmdRemote runs one analysis against a flowserved shard or flowcoord
+// fleet over HTTP, speaking the same /analyze JSON as the service. It
+// is the client path that honors Retry-After: 429 (budget window) and
+// 503 (overload, open breaker, drain) responses carrying the header are
+// retried after the hinted delay, up to -retries times, so a script
+// driving a busy fleet backs off the way the service asks instead of
+// hammering it.
+func cmdRemote(args []string) error {
+	fs := flag.NewFlagSet("flowcheck remote", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8077", "service base URL (flowserved shard or flowcoord)")
+	program := fs.String("program", "", "registered program name (required)")
+	secret := fs.String("secret", "", "secret input literal")
+	secretFile := fs.String("secret-file", "", "secret input file")
+	public := fs.String("public", "", "public input literal")
+	publicFile := fs.String("public-file", "", "public input file")
+	principal := fs.String("principal", "", "leakage-budget principal (X-Flow-Principal)")
+	precision := fs.String("precision", "", "precision rung override: trivial, static, full, adaptive")
+	timeoutMS := fs.Int64("timeout-ms", 0, "server-side request timeout in ms (0 = none)")
+	retries := fs.Int("retries", 3, "max retries of 429/503 responses that carry Retry-After")
+	maxWait := fs.Duration("max-wait", 30*time.Second, "cap on a single Retry-After sleep")
+	jsonOut := fs.Bool("json", false, "print the raw response JSON instead of a summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *program == "" {
+		return fmt.Errorf("remote: -program is required")
+	}
+	sec, err := inputBytes(*secret, *secretFile)
+	if err != nil {
+		return err
+	}
+	pub, err := inputBytes(*public, *publicFile)
+	if err != nil {
+		return err
+	}
+
+	req := serve.AnalyzeRequest{
+		Program:   *program,
+		Principal: *principal,
+		SecretB64: base64.StdEncoding.EncodeToString(sec),
+		PublicB64: base64.StdEncoding.EncodeToString(pub),
+		Precision: *precision,
+		TimeoutMS: *timeoutMS,
+	}
+	resp, hdr, err := postAnalyzeRetrying(context.Background(), http.DefaultClient,
+		strings.TrimSuffix(*addr, "/")+"/analyze", &req, *retries, *maxWait, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	fmt.Printf("%s: %d bits (rung %s)\n", resp.Program, resp.Bits, resp.Rung)
+	if resp.Cut != "" {
+		fmt.Printf("cut: %s\n", resp.Cut)
+	}
+	if resp.Trapped {
+		fmt.Printf("trapped: %s\n", resp.Trap)
+	}
+	if shard := hdr.Get("X-Flow-Shard"); shard != "" {
+		fmt.Printf("shard: %s\n", shard)
+	}
+	if rem := resp.RemainingBudgetBits; rem != nil {
+		fmt.Printf("budget remaining: %d bits\n", *rem)
+	}
+	return nil
+}
+
+// postAnalyzeRetrying posts the request and honors Retry-After on 429
+// and 503: it sleeps the hinted seconds (capped by maxWait) and tries
+// again, up to retries extra attempts. Responses without the header,
+// and every other status, fail immediately — the service said waiting
+// will not help.
+func postAnalyzeRetrying(ctx context.Context, client *http.Client, url string, req *serve.AnalyzeRequest, retries int, maxWait time.Duration, progress io.Writer) (*serve.AnalyzeResponse, http.Header, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err := client.Do(hreq)
+		if err != nil {
+			return nil, nil, err
+		}
+		payload, err := io.ReadAll(hresp.Body)
+		hresp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if hresp.StatusCode == http.StatusOK {
+			var out serve.AnalyzeResponse
+			if err := json.Unmarshal(payload, &out); err != nil {
+				return nil, nil, fmt.Errorf("decoding response: %w", err)
+			}
+			return &out, hresp.Header, nil
+		}
+
+		var er serve.ErrorResponse
+		_ = json.Unmarshal(payload, &er)
+		retryable := hresp.StatusCode == http.StatusTooManyRequests ||
+			hresp.StatusCode == http.StatusServiceUnavailable
+		ra := hresp.Header.Get("Retry-After")
+		if !retryable || ra == "" || attempt >= retries {
+			return nil, nil, fmt.Errorf("remote: HTTP %d (%s): %s", hresp.StatusCode, er.Kind, er.Error)
+		}
+		secs, err := strconv.ParseInt(ra, 10, 64)
+		if err != nil || secs < 0 {
+			return nil, nil, fmt.Errorf("remote: HTTP %d with unusable Retry-After %q", hresp.StatusCode, ra)
+		}
+		wait := time.Duration(secs) * time.Second
+		if wait > maxWait {
+			wait = maxWait
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "flowcheck: %s (%s); retrying in %v (%d/%d)\n",
+				hresp.Status, er.Kind, wait, attempt+1, retries)
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func inputBytes(lit, file string) ([]byte, error) {
+	if file != "" {
+		return os.ReadFile(file)
+	}
+	return []byte(lit), nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flowcheck/internal/serve"
+)
+
+// The client path of the Retry-After contract: a 429 or 503 carrying the
+// header is retried after the hinted delay; everything else fails fast.
+func TestPostAnalyzeRetryingHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "budget window busy", Kind: "budget-exceeded"})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.AnalyzeResponse{Program: "unary", Bits: 8})
+	}))
+	defer ts.Close()
+
+	var progress strings.Builder
+	resp, _, err := postAnalyzeRetrying(context.Background(), ts.Client(), ts.URL+"/analyze",
+		&serve.AnalyzeRequest{Program: "unary"}, 3, time.Second, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bits != 8 || calls.Load() != 2 {
+		t.Fatalf("bits %d after %d calls, want 8 after 2", resp.Bits, calls.Load())
+	}
+	if !strings.Contains(progress.String(), "retrying") {
+		t.Fatalf("no retry progress reported: %q", progress.String())
+	}
+}
+
+func TestPostAnalyzeRetryingFailsFastWithoutHint(t *testing.T) {
+	cases := map[string]http.HandlerFunc{
+		// A 503 with no Retry-After: the service gave no reason to wait.
+		"503 no header": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "overload", Kind: "overload"})
+		},
+		// Deterministic failures never retry, hint or not.
+		"404 with header": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "unknown program", Kind: "unknown-program"})
+		},
+	}
+	for name, handler := range cases {
+		t.Run(name, func(t *testing.T) {
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				handler(w, r)
+			}))
+			defer ts.Close()
+			_, _, err := postAnalyzeRetrying(context.Background(), ts.Client(), ts.URL+"/analyze",
+				&serve.AnalyzeRequest{Program: "unary"}, 3, time.Second, io.Discard)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if calls.Load() != 1 {
+				t.Fatalf("%d calls, want exactly 1 (no retry)", calls.Load())
+			}
+		})
+	}
+}
+
+func TestPostAnalyzeRetryingRespectsRetryBudget(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "still draining", Kind: "draining"})
+	}))
+	defer ts.Close()
+	_, _, err := postAnalyzeRetrying(context.Background(), ts.Client(), ts.URL+"/analyze",
+		&serve.AnalyzeRequest{Program: "unary"}, 2, time.Second, io.Discard)
+	if err == nil {
+		t.Fatal("endless 503s must eventually fail")
+	}
+	if calls.Load() != 3 { // first try + 2 retries
+		t.Fatalf("%d calls, want 3", calls.Load())
+	}
+}

@@ -1,0 +1,392 @@
+// Command flowload drives an analysis fleet and records its
+// throughput, latency, and failover trajectory as JSON (stdout; CI
+// redirects it to BENCH_fleet.json). Human-readable progress goes to
+// stderr.
+//
+// Two modes:
+//
+//   - -spawn N boots a self-contained fleet in-process: N shards (each
+//     a full serve.Service with every built-in guest registered) behind
+//     an in-process coordinator. -kill-shard i -kill-after d then drops
+//     shard i mid-run the hard way (its listener closes; connections
+//     refuse), exercising failover and batch re-dispatch exactly as a
+//     kill -9 would.
+//   - -coord URL drives an external flowcoord over HTTP.
+//
+// The run issues -requests single analyses at -concurrency across the
+// registered programs, then (with -batch-runs > 0) one distributed
+// batch, and emits totals, latency percentiles, a per-bucket
+// trajectory, and the coordinator's failover/hedge/steal counters.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowcheck/internal/engine"
+	"flowcheck/internal/fleet"
+	"flowcheck/internal/guest"
+	"flowcheck/internal/serve"
+)
+
+type result struct {
+	start   time.Duration // offset from run start
+	latency time.Duration
+	ok      bool
+	status  int
+}
+
+type bucket struct {
+	TMS    int64   `json:"t_ms"`
+	OK     int64   `json:"ok"`
+	Failed int64   `json:"failed"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+type report struct {
+	Mode        string   `json:"mode"`
+	Shards      int      `json:"shards"`
+	Programs    []string `json:"programs"`
+	Requests    int      `json:"requests"`
+	Concurrency int      `json:"concurrency"`
+	KillShard   int      `json:"kill_shard"`
+	KillAfterMS int64    `json:"kill_after_ms,omitempty"`
+
+	OK         int64    `json:"ok"`
+	Failed     int64    `json:"failed"`
+	LastError  string   `json:"last_error,omitempty"`
+	DurationMS float64  `json:"duration_ms"`
+	Throughput float64  `json:"throughput_rps"`
+	P50MS      float64  `json:"p50_ms"`
+	P90MS      float64  `json:"p90_ms"`
+	P99MS      float64  `json:"p99_ms"`
+	MaxMS      float64  `json:"max_ms"`
+	Trajectory []bucket `json:"trajectory"`
+
+	BatchRuns         int     `json:"batch_runs,omitempty"`
+	BatchBits         int64   `json:"batch_bits,omitempty"`
+	BatchMergedRuns   int     `json:"batch_merged_runs,omitempty"`
+	BatchRedispatches int64   `json:"batch_redispatches,omitempty"`
+	BatchSteals       int64   `json:"batch_steals,omitempty"`
+	BatchLatencyMS    float64 `json:"batch_latency_ms,omitempty"`
+
+	Coordinator *fleet.Stats `json:"coordinator,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("flowload", flag.ExitOnError)
+	coordURL := fs.String("coord", "", "external coordinator base URL (mutually exclusive with -spawn)")
+	spawn := fs.Int("spawn", 0, "boot this many in-process shards behind an in-process coordinator")
+	programs := fs.String("programs", "sshauth,count_punct", "comma-separated programs to drive")
+	requests := fs.Int("requests", 200, "single-analysis requests to issue")
+	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
+	batchRuns := fs.Int("batch-runs", 16, "runs in the trailing distributed batch (0 = skip)")
+	killShard := fs.Int("kill-shard", -1, "spawn mode: shard index to kill mid-run (-1 = none)")
+	killAfter := fs.Duration("kill-after", 300*time.Millisecond, "spawn mode: when to kill the shard")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	progs := strings.Split(*programs, ",")
+
+	rep := report{
+		Programs:    progs,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		KillShard:   *killShard,
+	}
+
+	var analyze func(ctx context.Context, req *serve.AnalyzeRequest) (int, error)
+	var batch func(ctx context.Context, req *fleet.BatchRequest) (*fleet.BatchResponse, error)
+	var kill func(i int)
+	var coordStats func() *fleet.Stats
+
+	switch {
+	case *spawn > 0 && *coordURL != "":
+		return fmt.Errorf("-spawn and -coord are mutually exclusive")
+	case *spawn > 0:
+		rep.Mode = "spawn"
+		rep.Shards = *spawn
+		if *killShard >= 0 {
+			rep.KillAfterMS = killAfter.Milliseconds()
+		}
+		var servers []*httptest.Server
+		var specs []fleet.ShardSpec
+		for i := 0; i < *spawn; i++ {
+			svc := serve.New(serve.Options{
+				ShardName:  fmt.Sprintf("shard-%d", i),
+				CacheBytes: 32 << 20,
+			})
+			for _, name := range guest.Names() {
+				svc.Register(name, guest.Program(name), engine.Config{})
+			}
+			ts := httptest.NewServer(svc.Handler())
+			defer ts.Close()
+			servers = append(servers, ts)
+			specs = append(specs, fleet.ShardSpec{Name: fmt.Sprintf("shard-%d", i), URL: ts.URL})
+		}
+		coord, err := fleet.New(fleet.Options{
+			Shards:        specs,
+			ProbeInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		coord.Start()
+		defer coord.Close()
+		analyze = func(ctx context.Context, req *serve.AnalyzeRequest) (int, error) {
+			_, _, err := coord.Analyze(ctx, req)
+			return 0, err
+		}
+		batch = coord.AnalyzeBatch
+		kill = func(i int) {
+			if i >= 0 && i < len(servers) {
+				servers[i].CloseClientConnections()
+				servers[i].Close()
+			}
+		}
+		coordStats = func() *fleet.Stats { st := coord.Stats(); return &st }
+	case *coordURL != "":
+		rep.Mode = "remote"
+		base := strings.TrimSuffix(*coordURL, "/")
+		client := &http.Client{}
+		analyze = func(ctx context.Context, req *serve.AnalyzeRequest) (int, error) {
+			return postJSON(ctx, client, base+"/analyze", req, nil)
+		}
+		batch = func(ctx context.Context, req *fleet.BatchRequest) (*fleet.BatchResponse, error) {
+			var out fleet.BatchResponse
+			if _, err := postJSON(ctx, client, base+"/analyzebatch", req, &out); err != nil {
+				return nil, err
+			}
+			return &out, nil
+		}
+		kill = func(int) {}
+		coordStats = func() *fleet.Stats {
+			resp, err := client.Get(base + "/statz")
+			if err != nil {
+				return nil
+			}
+			defer resp.Body.Close()
+			var st fleet.Stats
+			if json.NewDecoder(resp.Body).Decode(&st) != nil {
+				return nil
+			}
+			return &st
+		}
+	default:
+		return fmt.Errorf("one of -spawn N or -coord URL is required")
+	}
+
+	// Drive: each request perturbs the guest's sample secret
+	// deterministically so the cache sees variety without any RNG.
+	results := make([]result, *requests)
+	var failed atomic.Int64
+	var lastErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	if *killShard >= 0 && rep.Mode == "spawn" {
+		go func() {
+			time.Sleep(*killAfter)
+			fmt.Fprintf(os.Stderr, "flowload: killing shard %d at %v\n", *killShard, time.Since(start))
+			kill(*killShard)
+		}()
+	}
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				prog := progs[i%len(progs)]
+				secret, public, _ := guest.SampleInputs(prog)
+				sec := append([]byte(nil), secret...)
+				if len(sec) > 0 {
+					sec[i%len(sec)] = byte('a' + i%26)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+				t0 := time.Now()
+				_, err := analyze(ctx, &serve.AnalyzeRequest{
+					Program:   prog,
+					SecretB64: b64(sec),
+					PublicB64: b64(public),
+				})
+				cancel()
+				results[i] = result{start: t0.Sub(start), latency: time.Since(t0), ok: err == nil}
+				if err != nil {
+					failed.Add(1)
+					lastErr.Store(err.Error())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	driveDur := time.Since(start)
+
+	if *batchRuns > 0 {
+		breq := &fleet.BatchRequest{Program: progs[0]}
+		secret, public, _ := guest.SampleInputs(progs[0])
+		for i := 0; i < *batchRuns; i++ {
+			sec := append([]byte(nil), secret...)
+			if len(sec) > 0 {
+				sec[i%len(sec)] = byte('A' + i%26)
+			}
+			breq.Runs = append(breq.Runs, fleet.RunInput{SecretB64: b64(sec), PublicB64: b64(public)})
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		bresp, err := batch(ctx, breq)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowload: batch failed: %v\n", err)
+		} else {
+			rep.BatchRuns = *batchRuns
+			rep.BatchBits = bresp.Bits
+			rep.BatchMergedRuns = bresp.MergedRuns
+			rep.BatchRedispatches = bresp.Redispatches
+			rep.BatchSteals = bresp.Steals
+			rep.BatchLatencyMS = bresp.LatencyMS
+		}
+	}
+
+	// Aggregate.
+	lat := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		if r.ok {
+			lat = append(lat, r.latency)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.OK = int64(len(lat))
+	rep.Failed = failed.Load()
+	if e, _ := lastErr.Load().(string); e != "" {
+		rep.LastError = e
+	}
+	rep.DurationMS = float64(driveDur.Microseconds()) / 1000
+	if driveDur > 0 {
+		rep.Throughput = float64(len(lat)) / driveDur.Seconds()
+	}
+	rep.P50MS = pctMS(lat, 50)
+	rep.P90MS = pctMS(lat, 90)
+	rep.P99MS = pctMS(lat, 99)
+	if n := len(lat); n > 0 {
+		rep.MaxMS = float64(lat[n-1].Microseconds()) / 1000
+	}
+	rep.Trajectory = trajectory(results, driveDur)
+	rep.Coordinator = coordStats()
+
+	fmt.Fprintf(os.Stderr, "flowload: %d ok, %d failed in %.1fms (%.1f rps), p50 %.2fms p99 %.2fms\n",
+		rep.OK, rep.Failed, rep.DurationMS, rep.Throughput, rep.P50MS, rep.P99MS)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// trajectory slices the run into ≤20 equal buckets for the per-PR
+// throughput/latency trend line.
+func trajectory(results []result, total time.Duration) []bucket {
+	if total <= 0 || len(results) == 0 {
+		return nil
+	}
+	n := 10
+	width := total / time.Duration(n)
+	if width <= 0 {
+		width = time.Millisecond
+	}
+	perBucket := make([][]time.Duration, n)
+	out := make([]bucket, n)
+	for i := range out {
+		out[i].TMS = (width * time.Duration(i)).Milliseconds()
+	}
+	for _, r := range results {
+		b := int(r.start / width)
+		if b >= n {
+			b = n - 1
+		}
+		if r.ok {
+			out[b].OK++
+			perBucket[b] = append(perBucket[b], r.latency)
+		} else {
+			out[b].Failed++
+		}
+	}
+	for i := range out {
+		sort.Slice(perBucket[i], func(a, b int) bool { return perBucket[i][a] < perBucket[i][b] })
+		out[i].P50MS = pctMS(perBucket[i], 50)
+		out[i].P99MS = pctMS(perBucket[i], 99)
+	}
+	return out
+}
+
+func pctMS(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+func b64(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return base64.StdEncoding.EncodeToString(b)
+}
+
+// postJSON posts v and decodes into out (when non-nil), returning the
+// HTTP status. Retry-After-honoring retries live in flowcheck's client;
+// the load driver reports refusals as failures on purpose — they are
+// the datapoint.
+func postJSON(ctx context.Context, client *http.Client, url string, v, out any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+	}
+	if out != nil {
+		return resp.StatusCode, json.Unmarshal(payload, out)
+	}
+	return resp.StatusCode, nil
+}

@@ -97,6 +97,7 @@ func run() error {
 	maxOutputBytes := fs.Int("max-output-bytes", 0, "per-run output budget in bytes (0 = unlimited)")
 	maxGraphEdges := fs.Int("max-graph-edges", 0, "per-run graph edge budget (0 = unlimited)")
 	solverBudget := fs.Int64("solver-budget", 0, "per-run solver work budget; exhaustion degrades (0 = unlimited)")
+	shardName := fs.String("shard-name", "", "fleet shard identity; sets the X-Flow-Shard header on every response (empty = standalone)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	var srcs srcList
@@ -153,6 +154,7 @@ func run() error {
 		SessionHighWater: *highWater,
 		CacheBytes:       *cacheBytes,
 		Ledger:           led,
+		ShardName:        *shardName,
 		Logger:           log,
 	})
 

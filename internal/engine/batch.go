@@ -13,7 +13,6 @@ import (
 
 	"flowcheck/internal/fault"
 	"flowcheck/internal/flowgraph"
-	"flowcheck/internal/maxflow"
 	"flowcheck/internal/merge"
 	"flowcheck/internal/static"
 	"flowcheck/internal/taint"
@@ -185,44 +184,13 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("engine: all %d runs failed: %w", len(inputs), errors.Join(failures...))
 	}
-	mStart := time.Now()
-	joint := merge.Graphs(graphs...)
-	mergeDur := time.Since(mStart)
-
-	sStart := time.Now()
-	var flow *maxflow.Result
-	var cut *maxflow.Cut
-	degradedReason := ""
-	flow, exhausted := maxflow.NewSolver(a.cfg.Algorithm).SolveBudgeted(joint, a.cfg.Budget.SolverWork)
-	if exhausted {
-		flow = nil
-		degradedReason = fmt.Sprintf("joint solver work budget (%d) exhausted", a.cfg.Budget.SolverWork)
-	} else {
-		cut = flow.MinCut()
-	}
-	jointSolve := time.Since(sStart)
-
-	taintedOut := taintedOutputBits(joint)
-	bits := trivialCutBits(joint)
-	rung := RungFull
-	if flow != nil {
-		bits = flow.Flow
-	} else {
-		rung = RungTrivial // joint solver-budget fallback: trivial cut
-	}
-
-	res = &Result{
-		Bits:              bits,
-		Rung:              rung,
-		TaintedOutputBits: taintedOut,
-		Graph:             joint,
-		Flow:              flow,
-		Cut:               cut,
-		Degraded:          degradedReason != "",
-		DegradedReason:    degradedReason,
-		Runs:              make([]RunSummary, 0, len(perRun)),
-		prog:              a.prog,
-	}
+	// The merge and joint solve are the shared SolveJoint seam: the fleet
+	// coordinator calls the same function over shard-returned graphs, which
+	// is what makes a distributed batch bit-identical to this path.
+	jr := SolveJoint(graphs, a.cfg.Algorithm, a.cfg.Budget.SolverWork)
+	res = jr.ToResult()
+	res.Runs = make([]RunSummary, 0, len(perRun))
+	res.prog = a.prog
 	var agg StageStats
 	for i, r := range perRun {
 		if perErr[i] != nil {
@@ -250,8 +218,8 @@ func (a *Analyzer) AnalyzeBatchContext(ctx context.Context, inputs []Inputs) (re
 		res.Steps = r.Steps
 		res.Trap = r.Trap
 	}
-	agg.Merge = mergeDur
-	agg.Solve += jointSolve
+	agg.Merge = jr.MergeDur
+	agg.Solve += jr.SolveDur
 	agg.Total = time.Since(start) // wall time, not the sum of stage times
 	res.Stages = agg
 	return res, nil

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedNet marks a scripted transport failure. Every injected
+// network fault matches it via errors.Is, so callers can separate chaos
+// from real transport errors without string matching.
+var ErrInjectedNet = errors.New("fault: injected network failure")
+
+// NetError is one injected transport failure: which target, which
+// request ordinal at that target, and where in the exchange it struck.
+type NetError struct {
+	Target string // the plan's target key (the fleet uses shard names)
+	Op     string // "dial", "body", "partition"
+	Req    int    // 0-based request ordinal at Target
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("fault: injected network failure (%s %s request %d)", e.Op, e.Target, e.Req)
+}
+
+func (e *NetError) Is(target error) bool { return target == ErrInjectedNet }
+
+// NetInjection scripts one request's transport fate. The zero value
+// injects nothing.
+type NetInjection struct {
+	// Refuse fails the request before any bytes move, like a refused
+	// connection or an unreachable host.
+	Refuse bool
+	// StallFor delays the request this long before forwarding it — the
+	// slow-network case hedging exists for. Cancelling the request's
+	// context ends the stall early with the context error.
+	StallFor time.Duration
+	// CutBodyAfter, when positive, lets the response through but fails
+	// its body read after this many bytes — a mid-response connection
+	// cut. The status line and headers arrive intact.
+	CutBodyAfter int64
+}
+
+// Active reports whether the injection does anything.
+func (inj NetInjection) Active() bool {
+	return inj.Refuse || inj.StallFor > 0 || inj.CutBodyAfter > 0
+}
+
+func (inj NetInjection) String() string {
+	switch {
+	case inj.Refuse:
+		return "refuse"
+	case inj.StallFor > 0:
+		return fmt.Sprintf("stall:%v", inj.StallFor)
+	case inj.CutBodyAfter > 0:
+		return fmt.Sprintf("cut-body:%d", inj.CutBodyAfter)
+	}
+	return "none"
+}
+
+type netKey struct {
+	target string
+	req    int
+}
+
+// netWindow is a partition: requests to target with ordinal in [from, to)
+// are refused, simulating the target being unreachable for a while.
+type netWindow struct {
+	target string
+	from   int
+	to     int
+}
+
+// NetPlan maps (target, request ordinal) pairs to transport injections.
+// Targets are opaque strings — the fleet keys by shard name. Like Plan
+// and IOPlan it is deterministic (the same request sequence hits the same
+// faults), nil-safe (a nil plan injects nothing), and chainable. Unlike
+// them it is explicitly mutexed: request ordinals are consumed by
+// concurrent transports.
+type NetPlan struct {
+	mu     sync.Mutex
+	counts map[string]int
+	byReq  map[netKey]NetInjection
+	every  map[string]NetInjection
+	parts  []netWindow
+}
+
+// NewNetPlan returns an empty plan.
+func NewNetPlan() *NetPlan {
+	return &NetPlan{
+		counts: map[string]int{},
+		byReq:  map[netKey]NetInjection{},
+		every:  map[string]NetInjection{},
+	}
+}
+
+// ForRequest schedules inj for the req-th request (0-based) to target.
+func (p *NetPlan) ForRequest(target string, req int, inj NetInjection) *NetPlan {
+	p.byReq[netKey{target, req}] = inj
+	return p
+}
+
+// EveryRequest schedules inj for every request to target that has no
+// request-specific injection.
+func (p *NetPlan) EveryRequest(target string, inj NetInjection) *NetPlan {
+	p.every[target] = inj
+	return p
+}
+
+// Partition refuses requests to target with ordinals in [from, to) —
+// the target drops off the network for a stretch of requests, then
+// comes back. Partitions win over per-request and every-request rules.
+func (p *NetPlan) Partition(target string, from, to int) *NetPlan {
+	p.parts = append(p.parts, netWindow{target, from, to})
+	return p
+}
+
+// Next consumes one request ordinal for target and returns its scripted
+// injection plus the ordinal consumed. Safe on a nil plan.
+func (p *NetPlan) Next(target string) (NetInjection, int) {
+	if p == nil {
+		return NetInjection{}, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ord := p.counts[target]
+	p.counts[target] = ord + 1
+	for _, w := range p.parts {
+		if w.target == target && ord >= w.from && ord < w.to {
+			return NetInjection{Refuse: true}, ord
+		}
+	}
+	if inj, ok := p.byReq[netKey{target, ord}]; ok {
+		return inj, ord
+	}
+	return p.every[target], ord
+}
+
+// Requests reports how many ordinals have been consumed for target.
+func (p *NetPlan) Requests(target string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[target]
+}
+
+// RandomNet derives a plan from a seed covering n request ordinals per
+// target: refused connections, short stalls, mid-body cuts, and an
+// occasional multi-request partition, mixed so most requests still pass.
+// The same seed and target list always yield the same plan. Stalls are
+// kept to a few milliseconds so seeded soaks stay fast.
+func RandomNet(seed int64, targets []string, n int) *NetPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewNetPlan()
+	for _, t := range targets {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(12) {
+			case 0:
+				p.ForRequest(t, i, NetInjection{Refuse: true})
+			case 1:
+				p.ForRequest(t, i, NetInjection{StallFor: time.Duration(1+rng.Intn(4)) * time.Millisecond})
+			case 2:
+				p.ForRequest(t, i, NetInjection{CutBodyAfter: int64(1 + rng.Intn(64))})
+			}
+		}
+		if rng.Intn(4) == 0 {
+			from := rng.Intn(n)
+			p.Partition(t, from, from+1+rng.Intn(5))
+		}
+	}
+	return p
+}
+
+// NetTransport is the http.RoundTripper chaos seam: it consults a
+// NetPlan before forwarding each request to Base and injects the
+// scripted failure. A nil Plan forwards everything untouched, so the
+// transport can stay wired in production code paths.
+type NetTransport struct {
+	// Base is the real transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan scripts the failures; nil injects nothing.
+	Plan *NetPlan
+	// Target derives the plan key from a request; nil means URL host.
+	Target func(*http.Request) string
+}
+
+func (t *NetTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := req.URL.Host
+	if t.Target != nil {
+		target = t.Target(req)
+	}
+	inj, ord := t.Plan.Next(target)
+	if inj.Refuse {
+		return nil, &NetError{Target: target, Op: "dial", Req: ord}
+	}
+	if inj.StallFor > 0 {
+		timer := time.NewTimer(inj.StallFor)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if inj.CutBodyAfter > 0 {
+		resp.Body = &cutBody{
+			rc:   resp.Body,
+			left: inj.CutBodyAfter,
+			err:  &NetError{Target: target, Op: "body", Req: ord},
+		}
+	}
+	return resp, nil
+}
+
+// cutBody passes through the first left bytes, then fails every read
+// with the injected error, simulating a connection cut mid-response.
+type cutBody struct {
+	rc   io.ReadCloser
+	left int64
+	err  error
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, b.err
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	if b.left <= 0 && err == nil {
+		err = b.err
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetPlanNilSafe(t *testing.T) {
+	var p *NetPlan
+	inj, ord := p.Next("anything")
+	if inj.Active() || ord != 0 {
+		t.Fatalf("nil plan injected %v at ordinal %d", inj, ord)
+	}
+	if p.Requests("anything") != 0 {
+		t.Fatal("nil plan counted a request")
+	}
+}
+
+func TestNetPlanOrdinalsAndPrecedence(t *testing.T) {
+	p := NewNetPlan().
+		EveryRequest("a", NetInjection{StallFor: time.Millisecond}).
+		ForRequest("a", 1, NetInjection{CutBodyAfter: 7}).
+		Partition("a", 3, 5)
+
+	want := []NetInjection{
+		{StallFor: time.Millisecond}, // 0: the every-request rule
+		{CutBodyAfter: 7},            // 1: per-request beats every-request
+		{StallFor: time.Millisecond}, // 2
+		{Refuse: true},               // 3: partition window opens
+		{Refuse: true},               // 4
+		{StallFor: time.Millisecond}, // 5: window closed
+	}
+	for i, w := range want {
+		inj, ord := p.Next("a")
+		if ord != i || inj != w {
+			t.Fatalf("ordinal %d: got (%v, %d), want (%v, %d)", i, inj, ord, w, i)
+		}
+	}
+	if got := p.Requests("a"); got != len(want) {
+		t.Fatalf("Requests(a) = %d, want %d", got, len(want))
+	}
+	// Targets have independent ordinal streams.
+	if inj, ord := p.Next("b"); inj.Active() || ord != 0 {
+		t.Fatalf("target b inherited target a's plan: (%v, %d)", inj, ord)
+	}
+}
+
+func TestNetPlanPartitionBeatsPerRequest(t *testing.T) {
+	p := NewNetPlan().
+		ForRequest("a", 0, NetInjection{StallFor: time.Millisecond}).
+		Partition("a", 0, 1)
+	inj, _ := p.Next("a")
+	if !inj.Refuse {
+		t.Fatalf("partition should win over per-request rule, got %v", inj)
+	}
+}
+
+func TestRandomNetReproducible(t *testing.T) {
+	targets := []string{"a", "b", "c"}
+	p1 := RandomNet(42, targets, 50)
+	p2 := RandomNet(42, targets, 50)
+	for _, tg := range targets {
+		for i := 0; i < 60; i++ { // past n: both must agree on "nothing"
+			i1, _ := p1.Next(tg)
+			i2, _ := p2.Next(tg)
+			if i1 != i2 {
+				t.Fatalf("seed 42 diverged at %s/%d: %v vs %v", tg, i, i1, i2)
+			}
+		}
+	}
+	// A different seed must not replay the same script.
+	p3, p4 := RandomNet(43, targets, 50), RandomNet(42, targets, 50)
+	same := true
+	for _, tg := range targets {
+		for i := 0; i < 50; i++ {
+			a, _ := p3.Next(tg)
+			b, _ := p4.Next(tg)
+			if a != b {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical plans")
+	}
+}
+
+func TestNetTransportRefuse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	tr := &NetTransport{Plan: NewNetPlan().ForRequest(ts.Listener.Addr().String(), 0, NetInjection{Refuse: true})}
+	client := &http.Client{Transport: tr}
+
+	_, err := client.Get(ts.URL)
+	if !errors.Is(err, ErrInjectedNet) {
+		t.Fatalf("want ErrInjectedNet, got %v", err)
+	}
+	// Ordinal 1 has no injection: the request passes.
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "ok" {
+		t.Fatalf("clean request read %q", b)
+	}
+}
+
+func TestNetTransportCutBody(t *testing.T) {
+	payload := strings.Repeat("x", 1024)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	tr := &NetTransport{
+		Plan:   NewNetPlan().EveryRequest("shard-a", NetInjection{CutBodyAfter: 10}),
+		Target: func(*http.Request) string { return "shard-a" },
+	}
+	resp, err := (&http.Client{Transport: tr}).Get(ts.URL)
+	if err != nil {
+		t.Fatalf("cut-body must deliver status and headers, got %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrInjectedNet) {
+		t.Fatalf("body read error = %v, want ErrInjectedNet", err)
+	}
+	if len(b) > 10 {
+		t.Fatalf("read %d bytes past the cut at 10", len(b))
+	}
+	var ne *NetError
+	if !errors.As(err, &ne) || ne.Op != "body" || ne.Target != "shard-a" {
+		t.Fatalf("cut error = %#v", err)
+	}
+}
+
+func TestNetTransportStallRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	tr := &NetTransport{
+		Plan:   NewNetPlan().EveryRequest("s", NetInjection{StallFor: time.Minute}),
+		Target: func(*http.Request) string { return "s" },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := (&http.Client{Transport: tr}).Do(req)
+	if err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the stall ignored the context", elapsed)
+	}
+}
+
+func TestNetInjectionStrings(t *testing.T) {
+	cases := map[string]NetInjection{
+		"none":       {},
+		"refuse":     {Refuse: true},
+		"stall:1ms":  {StallFor: time.Millisecond},
+		"cut-body:9": {CutBodyAfter: 9},
+	}
+	for want, inj := range cases {
+		if got := inj.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", inj, got, want)
+		}
+	}
+	if (NetInjection{}).Active() {
+		t.Fatal("zero injection must be inactive")
+	}
+}

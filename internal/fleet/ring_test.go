@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return names
+}
+
+func TestRingDeterministic(t *testing.T) {
+	r1 := newRing(ringNames(5), 64)
+	r2 := newRing(ringNames(5), 64)
+	for i := 0; i < 200; i++ {
+		key := runKey("prog", i)
+		if a, b := r1.Lookup(key, 3), r2.Lookup(key, 3); !reflect.DeepEqual(a, b) {
+			t.Fatalf("key %d: rebuilt ring disagrees: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRingLookupDistinctShards(t *testing.T) {
+	r := newRing(ringNames(4), 64)
+	for i := 0; i < 100; i++ {
+		prefs := r.Lookup(programKey(fmt.Sprintf("p%d", i)), 4)
+		if len(prefs) != 4 {
+			t.Fatalf("key p%d: %d prefs, want 4", i, len(prefs))
+		}
+		seen := map[int]bool{}
+		for _, s := range prefs {
+			if s < 0 || s >= 4 || seen[s] {
+				t.Fatalf("key p%d: bad preference list %v", i, prefs)
+			}
+			seen[s] = true
+		}
+	}
+	// Asking for more replicas than shards clamps.
+	if prefs := r.Lookup(programKey("x"), 99); len(prefs) != 4 {
+		t.Fatalf("over-asked lookup returned %d shards", len(prefs))
+	}
+}
+
+// TestRingBalance sanity-checks that 64 vnodes/shard spread keys without
+// gross hot spots: every shard should own a reasonable share of 10k keys.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 5, 10000
+	r := newRing(ringNames(shards), 64)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(runKey("bench", i), 1)[0]]++
+	}
+	fair := keys / shards
+	for s, n := range counts {
+		if n < fair/3 || n > fair*3 {
+			t.Fatalf("shard %d owns %d of %d keys (fair share %d): %v", s, n, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange pins the consistent-hashing
+// property the coordinator's failover depends on: removing one shard
+// must not reshuffle keys among the survivors — every key either stays
+// put or moves to the removed shard's next replica.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := newRing([]string{"a", "b", "c", "d"}, 64)
+	// Dropping "d": the survivors keep their names, so their vnode hashes
+	// are unchanged and each key's survivor order is preserved.
+	less := newRing([]string{"a", "b", "c"}, 64)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := runKey("stability", i)
+		fullOrder := full.Lookup(key, 4)
+		lessOwner := less.Lookup(key, 1)[0]
+		// The smaller ring's owner must be the full ring's first owner
+		// that is not shard 3 ("d").
+		want := fullOrder[0]
+		if want == 3 {
+			want = fullOrder[1]
+			moved++
+		}
+		if lessOwner != want {
+			t.Fatalf("key %d: owner %d after removal, want %d (full order %v)", i, lessOwner, want, fullOrder)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed shard; test proves nothing")
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := newRing(ringNames(3), 16)
+	spread := r.Spread()
+	total := 0
+	for _, n := range spread {
+		total += n
+	}
+	if total != 48 || len(spread) != 3 {
+		t.Fatalf("spread %v, want 3 shards × 16 vnodes", spread)
+	}
+}
+
+func TestProgramKeyStable(t *testing.T) {
+	if programKey("sshauth") != programKey("sshauth") {
+		t.Fatal("programKey not deterministic")
+	}
+	if programKey("sshauth") == programKey("unary") {
+		t.Fatal("distinct programs collided (astronomically unlikely)")
+	}
+	if runKey("p", 0) == runKey("p", 1) {
+		t.Fatal("distinct runs collided (astronomically unlikely)")
+	}
+}

@@ -69,6 +69,11 @@ type ExceededError struct {
 	CumulativeBits int64 // settled + pending before this charge
 	EstimateBits   int64
 	BudgetBits     int64
+	// RetryAfter is how long until the pair's decay window resets and
+	// capacity returns (zero when the ledger has no window — the budget
+	// is a lifetime total and retrying cannot help). The HTTP layer
+	// surfaces it as the 429 Retry-After hint.
+	RetryAfter time.Duration
 }
 
 func (e *ExceededError) Error() string {
@@ -328,13 +333,19 @@ func (l *Ledger) Charge(principal, program string, estimate int64) (*Charge, err
 	if budget := l.budgetFor(program); budget > 0 && e.cumulative()+estimate > budget {
 		e.denied++
 		l.mu.stats.denied++
-		return nil, &ExceededError{
+		exc := &ExceededError{
 			Principal:      principal,
 			Program:        program,
 			CumulativeBits: e.cumulative(),
 			EstimateBits:   estimate,
 			BudgetBits:     budget,
 		}
+		if l.opts.Window > 0 {
+			if left := l.opts.Window - l.opts.Now().Sub(e.windowStart); left > 0 {
+				exc.RetryAfter = left
+			}
+		}
+		return nil, exc
 	}
 
 	lsn := l.mu.nextLSN

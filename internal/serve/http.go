@@ -52,6 +52,12 @@ type AnalyzeRequest struct {
 	// principal's ledger is charged the joint bound, not the per-class sum.
 	// Cannot combine with a precision override.
 	Classes []ClassSpec `json:"classes,omitempty"`
+
+	// IncludeGraph asks for the run's flow graph in the response
+	// (AnalyzeResponse.Graph), packed for transit. The fleet coordinator
+	// sets it on batch runs so it can merge per-run graphs into the
+	// distributed joint bound. Cheap precision rungs carry no graph.
+	IncludeGraph bool `json:"include_graph,omitempty"`
 }
 
 // ClassSpec names one secret class: the secret-stream bytes
@@ -96,6 +102,9 @@ type AnalyzeResponse struct {
 	// the number the ledger charged, at most (and often less than) the
 	// per-class sum.
 	Classes []ClassResponse `json:"classes,omitempty"`
+	// Graph is the run's packed flow graph, present when the request set
+	// include_graph and the answering rung produced one.
+	Graph *WireGraph `json:"graph,omitempty"`
 }
 
 // ClassResponse is one secret class's measurement.
@@ -135,7 +144,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
-	return mux
+	if s.opts.ShardName == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Flow-Shard", s.opts.ShardName)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -188,8 +203,8 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.Analyze(ctx, sreq)
 	if err != nil {
 		status, kind := httpStatus(err)
-		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+		if ra := retryAfterHint(status, err); ra != "" {
+			w.Header().Set("Retry-After", ra)
 		}
 		writeError(w, status, kind, err)
 		return
@@ -229,6 +244,13 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			cresp.Error = cr.Err.Error()
 		}
 		out.Classes = append(out.Classes, cresp)
+	}
+	if req.IncludeGraph && res.Graph != nil {
+		exact := false
+		if p := s.lookup(resp.Program); p != nil {
+			exact = p.cfg.Taint.Exact
+		}
+		out.Graph = EncodeGraph(res.Graph, exact)
 	}
 	if res.Rung != "" {
 		w.Header().Set("X-Flow-Rung", res.Rung)
@@ -359,6 +381,33 @@ func httpStatus(err error) (int, string) {
 		return http.StatusInternalServerError, "internal"
 	}
 	return http.StatusInternalServerError, "error"
+}
+
+// retryAfterHint derives the Retry-After header for a refused request:
+// an open breaker's remaining cooldown, an exceeded budget's remaining
+// decay window, or 1 second for the generic shed/drain/unavailable
+// cases. Whole seconds, rounded up. Empty means no header — notably a
+// 429 against a windowless (lifetime) budget, where retrying is useless.
+func retryAfterHint(status int, err error) string {
+	var d time.Duration
+	var boe *BreakerOpenError
+	var exc *ledger.ExceededError
+	switch {
+	case errors.As(err, &boe):
+		d = boe.RetryAfter
+	case errors.As(err, &exc):
+		if exc.RetryAfter <= 0 {
+			return ""
+		}
+		d = exc.RetryAfter
+	case status != http.StatusServiceUnavailable:
+		return ""
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
 }
 
 func pickInput(b64, lit string) ([]byte, error) {

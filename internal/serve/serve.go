@@ -144,6 +144,12 @@ type Options struct {
 	// caching (the seed behavior).
 	CacheBytes int64
 
+	// ShardName, when set, identifies this process in a fleet: every
+	// HTTP response carries it as the X-Flow-Shard header, so clients
+	// and the coordinator can attribute answers (and failures) to
+	// shards. Empty means a standalone service — no header.
+	ShardName string
+
 	// Logger receives the structured per-request log lines; nil disables
 	// logging.
 	Logger *slog.Logger

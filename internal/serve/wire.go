@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+
+	"flowcheck/internal/flowgraph"
+)
+
+// WireGraph is a flow graph in transit: the packed little-endian edge
+// list, base64 in JSON. Shards attach one to an AnalyzeResponse when the
+// request set include_graph, and the fleet coordinator decodes, salts
+// (exact-mode labels), and merges them into the distributed joint bound.
+//
+// The encoding is exact and order-preserving — edge order is what makes
+// the location-keyed merge deterministic — so a decoded graph merges
+// bit-identically to the in-process original.
+type WireGraph struct {
+	// Nodes is the graph's node count (source and sink included).
+	Nodes int `json:"nodes"`
+	// Edges is the edge count, redundantly with the packed data so
+	// consumers can sanity-check before decoding.
+	Edges int `json:"edges"`
+	// Exact says the labels are exact-mode per-builder serials: a
+	// cross-run merge must salt them (merge.SaltLabels) to keep runs
+	// disjoint, exactly as AnalyzeBatch salts its in-process runs.
+	Exact bool `json:"exact,omitempty"`
+	// Data is the base64 packed edge list (wireMagic, then 30 bytes per
+	// edge: from u32, to u32, cap i64, site u32, ctx u64, aux u8, kind u8).
+	Data string `json:"data"`
+}
+
+const wireMagic = "FG1\n"
+const wireEdgeSize = 30
+
+// EncodeGraph packs a graph for transit. Nil stays nil, so callers can
+// pass Result.Graph straight through.
+func EncodeGraph(g *flowgraph.Graph, exact bool) *WireGraph {
+	if g == nil {
+		return nil
+	}
+	raw := make([]byte, len(wireMagic)+wireEdgeSize*len(g.Edges))
+	copy(raw, wireMagic)
+	off := len(wireMagic)
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(raw[off+0:], uint32(e.From))
+		binary.LittleEndian.PutUint32(raw[off+4:], uint32(e.To))
+		binary.LittleEndian.PutUint64(raw[off+8:], uint64(e.Cap))
+		binary.LittleEndian.PutUint32(raw[off+16:], e.Label.Site)
+		binary.LittleEndian.PutUint64(raw[off+20:], e.Label.Ctx)
+		raw[off+28] = e.Label.Aux
+		raw[off+29] = uint8(e.Label.Kind)
+		off += wireEdgeSize
+	}
+	return &WireGraph{
+		Nodes: g.NumNodes(),
+		Edges: g.NumEdges(),
+		Exact: exact,
+		Data:  base64.StdEncoding.EncodeToString(raw),
+	}
+}
+
+// Decode unpacks the wire graph into a fresh, caller-owned graph,
+// validating every field the in-process construction path would have
+// panicked on — a corrupt or adversarial payload fails with an error,
+// never a panic.
+func (w *WireGraph) Decode() (*flowgraph.Graph, error) {
+	if w == nil {
+		return nil, fmt.Errorf("serve: nil wire graph")
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Data)
+	if err != nil {
+		return nil, fmt.Errorf("serve: wire graph base64: %w", err)
+	}
+	if len(raw) < len(wireMagic) || string(raw[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("serve: wire graph: bad magic")
+	}
+	raw = raw[len(wireMagic):]
+	if len(raw)%wireEdgeSize != 0 {
+		return nil, fmt.Errorf("serve: wire graph: %d trailing bytes", len(raw)%wireEdgeSize)
+	}
+	n := len(raw) / wireEdgeSize
+	if n != w.Edges {
+		return nil, fmt.Errorf("serve: wire graph: header says %d edges, data has %d", w.Edges, n)
+	}
+	if w.Nodes < 2 {
+		return nil, fmt.Errorf("serve: wire graph: %d nodes (need source and sink)", w.Nodes)
+	}
+	g := flowgraph.New()
+	g.EnsureNodes(w.Nodes)
+	g.Edges = make([]flowgraph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		off := i * wireEdgeSize
+		from := int32(binary.LittleEndian.Uint32(raw[off+0:]))
+		to := int32(binary.LittleEndian.Uint32(raw[off+4:]))
+		cap := int64(binary.LittleEndian.Uint64(raw[off+8:]))
+		if from < 0 || to < 0 || int(from) >= w.Nodes || int(to) >= w.Nodes {
+			return nil, fmt.Errorf("serve: wire graph edge %d: endpoints (%d,%d) outside [0,%d)", i, from, to, w.Nodes)
+		}
+		if cap < 0 {
+			return nil, fmt.Errorf("serve: wire graph edge %d: negative capacity %d", i, cap)
+		}
+		g.AddEdge(flowgraph.NodeID(from), flowgraph.NodeID(to), cap, flowgraph.Label{
+			Site: binary.LittleEndian.Uint32(raw[off+16:]),
+			Ctx:  binary.LittleEndian.Uint64(raw[off+20:]),
+			Aux:  raw[off+28],
+			Kind: flowgraph.EdgeKind(raw[off+29]),
+		})
+	}
+	return g, nil
+}
